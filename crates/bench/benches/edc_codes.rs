@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the EDC substrate: encode/decode
+//! throughput of the Hsiao SECDED and BCH DECTED codes used by the
+//! cache datapath.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyvec_edc::{DectedCode, EdcCode, HsiaoCode};
+
+fn bench_edc(c: &mut Criterion) {
+    let secded = HsiaoCode::secded32();
+    let dected = DectedCode::dected32();
+    let data = 0xDEAD_BEEFu64;
+    let secded_cw = secded.encode(data);
+    let dected_cw = dected.encode(data);
+
+    let mut group = c.benchmark_group("edc");
+    group.bench_function("secded32_encode", |b| {
+        b.iter(|| secded.encode(black_box(data)))
+    });
+    group.bench_function("secded32_decode_clean", |b| {
+        b.iter(|| secded.decode(black_box(secded_cw)))
+    });
+    group.bench_function("secded32_decode_correct1", |b| {
+        b.iter(|| secded.decode(black_box(secded_cw ^ 0x10)))
+    });
+    group.bench_function("dected32_encode", |b| {
+        b.iter(|| dected.encode(black_box(data)))
+    });
+    group.bench_function("dected32_decode_clean", |b| {
+        b.iter(|| dected.decode(black_box(dected_cw)))
+    });
+    group.bench_function("dected32_decode_correct2", |b| {
+        b.iter(|| dected.decode(black_box(dected_cw ^ 0x140)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_edc);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the cache/processor simulator: instructions
+//! simulated per wall-clock second on both design points and modes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hyvec_cachesim::{Mode, System};
+use hyvec_core::architecture::{Architecture, DesignPoint, Scenario};
+use hyvec_mediabench::Benchmark;
+
+fn bench_simulator(c: &mut Criterion) {
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(n));
+    for (label, point, mode, bench) in [
+        (
+            "baseline_hp",
+            DesignPoint::Baseline,
+            Mode::Hp,
+            Benchmark::GsmC,
+        ),
+        (
+            "proposal_hp",
+            DesignPoint::Proposal,
+            Mode::Hp,
+            Benchmark::GsmC,
+        ),
+        (
+            "proposal_ule",
+            DesignPoint::Proposal,
+            Mode::Ule,
+            Benchmark::AdpcmC,
+        ),
+    ] {
+        let arch = Architecture::build(Scenario::A, point).expect("arch");
+        group.bench_function(label, |b| {
+            let mut sys = System::new(arch.config.clone());
+            b.iter(|| sys.run(bench.trace(n, 1), mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmarks of the synthetic MediaBench trace generators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hyvec_mediabench::Benchmark;
+
+fn bench_traces(c: &mut Criterion) {
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(n));
+    for b in [Benchmark::AdpcmC, Benchmark::GsmC, Benchmark::Mpeg2D] {
+        group.bench_function(b.name(), |bench| bench.iter(|| b.trace(n, 1).count()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

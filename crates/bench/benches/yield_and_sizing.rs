@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the reliability math: yield equations and
+//! the full Fig. 2 sizing methodology.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyvec_core::methodology::{design_ule_way, MethodologyInputs};
+use hyvec_core::Scenario;
+use hyvec_sram::yield_model::{cache_yield, required_pf, word_ok_probability};
+use hyvec_sram::FailureModel;
+
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield");
+    group.bench_function("word_ok_probability", |b| {
+        b.iter(|| word_ok_probability(black_box(1.6e-4), 39, 1))
+    });
+    group.bench_function("cache_yield_eq2", |b| {
+        b.iter(|| cache_yield(black_box(0.99997), 256, black_box(0.99998), 32))
+    });
+    group.bench_function("required_pf", |b| {
+        b.iter(|| required_pf(black_box(0.99), 8192))
+    });
+    let model = FailureModel::default();
+    let inputs = MethodologyInputs::default();
+    group.bench_function("methodology_scenario_a", |b| {
+        b.iter(|| design_ule_way(Scenario::A, &model, &inputs).unwrap())
+    });
+    group.bench_function("methodology_scenario_b", |b| {
+        b.iter(|| design_ule_way(Scenario::B, &model, &inputs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_yield);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 3: normalized average EPI at HP mode for
+//! scenarios A and B (BigBench, 1V/1GHz, all 8 ways active).
+
+use hyvec_bench::{breakdown_header, breakdown_row, pct};
+use hyvec_core::experiments::{fig3_hp_epi, ExperimentParams};
+use hyvec_core::Scenario;
+
+fn main() {
+    let params = ExperimentParams::default();
+    println!("Figure 3 — normalized average EPI at HP mode (BigBench)");
+    println!("paper: savings of 14% (scenario A) and 12% (scenario B)\n");
+    for s in Scenario::ALL {
+        let r = fig3_hp_epi(s, params);
+        println!("Scenario {s}:");
+        println!("{}", breakdown_header());
+        println!("{}", breakdown_row("  baseline", &r.baseline));
+        println!("{}", breakdown_row("  proposal", &r.proposal));
+        println!("  average EPI saving: {}", pct(r.saving));
+        println!("  per-benchmark normalized EPI (proposal/baseline):");
+        for (b, ratio) in &r.per_benchmark {
+            println!("    {:<10} {:.3}", b.to_string(), ratio);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! # hyvec-bench — figure/table regeneration and micro-benchmarks
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see the experiment index in `DESIGN.md`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig3_hp_epi` | Figure 3 — normalized average EPI at HP mode |
+//! | `fig4_ule_epi` | Figure 4 — normalized EPI breakdowns at ULE mode |
+//! | `table_methodology` | Sec. III-C sizing/yield table |
+//! | `table_performance` | Sec. IV-B.2 execution-time overhead |
+//! | `table_area` | area comparison |
+//! | `table_reliability` | reliability equivalence (yields + fault injection) |
+//! | `ablation_ways` | 7+1 vs 6+2 way split |
+//! | `ablation_memlat` | memory-latency sweep |
+//! | `ablation_granularity` | protection-granularity analysis |
+//!
+//! The `benches/` directory holds Criterion micro-benchmarks of the
+//! substrates (EDC throughput, simulator speed, yield math, trace
+//! generation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hyvec_cachesim::EnergyBreakdown;
+
+/// Renders one normalized EPI breakdown as a table row.
+pub fn breakdown_row(label: &str, b: &EnergyBreakdown) -> String {
+    format!(
+        "{label:<24} {:>8.3} {:>8.3} {:>8.4} {:>8.3} {:>8.3}",
+        b.l1_dynamic_pj,
+        b.l1_leakage_pj,
+        b.edc_pj,
+        b.other_pj,
+        b.total_pj()
+    )
+}
+
+/// The header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    format!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "L1 dyn", "L1 leak", "EDC", "other", "total"
+    )
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render() {
+        let b = EnergyBreakdown {
+            l1_dynamic_pj: 0.5,
+            l1_leakage_pj: 0.3,
+            edc_pj: 0.01,
+            other_pj: 0.19,
+        };
+        let row = breakdown_row("baseline", &b);
+        assert!(row.contains("baseline"));
+        assert!(row.contains("1.000"));
+        assert!(breakdown_header().contains("L1 dyn"));
+        assert_eq!(pct(0.423), "42.3%");
+    }
+}

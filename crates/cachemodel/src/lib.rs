@@ -1,0 +1,43 @@
+//! # hyvec-cachemodel — CACTI-style energy / delay / area models
+//!
+//! The paper models its caches with a custom-extended CACTI 6.5 plus
+//! HSPICE simulations of the EDC circuits. This crate is the stand-in:
+//! a parametric, structural model of SRAM arrays built from the
+//! [`hyvec_sram`] cell library, with the same dependency chain CACTI
+//! captures:
+//!
+//! * **dynamic energy** tracks switched capacitance — bitlines (scaling
+//!   with row count, cell size and cell height), wordlines, decoders,
+//!   sense amplifiers;
+//! * **leakage power** tracks the total device width of the array and
+//!   the supply voltage;
+//! * **area** tracks cell footprint over an array-efficiency factor;
+//! * **delay** tracks the cell drive strength at the operating voltage.
+//!
+//! [`EdcCircuit`] models the encoder/decoder logic of the EDC codes
+//! (the paper's HSPICE part) from synthesized gate counts.
+//!
+//! # Example
+//!
+//! ```
+//! use hyvec_cachemodel::{OperatingPoint, SramArray, TechnologyParams};
+//! use hyvec_sram::{CellKind, SizedCell};
+//!
+//! let tech = TechnologyParams::nm32();
+//! // One 1KB cache way of 10T cells sized 2.15x, 64x128 bits.
+//! let way = SramArray::new(SizedCell::new(CellKind::Sram10T, 2.15), 64, 128, 39, tech);
+//! let hp = OperatingPoint::hp();
+//! let ule = OperatingPoint::ule();
+//! assert!(way.read_energy_pj(ule.vdd) < way.read_energy_pj(hp.vdd));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod edc_circuit;
+pub mod params;
+
+pub use array::SramArray;
+pub use edc_circuit::EdcCircuit;
+pub use params::{OperatingPoint, TechnologyParams};

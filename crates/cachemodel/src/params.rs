@@ -1,0 +1,145 @@
+//! Technology constants and operating points.
+
+/// Per-node electrical constants feeding the array model.
+///
+/// The defaults ([`TechnologyParams::nm32`]) are representative of the
+/// 32nm node the paper evaluates (CACTI 6.5 with 32nm ITRS parameters,
+/// PTM transistors for the EDC circuits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyParams {
+    /// Wire capacitance along bitlines/wordlines, fF per µm.
+    pub wire_cap_ff_per_um: f64,
+    /// Effective switched capacitance of one sense amplifier firing, fF.
+    pub sense_amp_ff: f64,
+    /// Decoder switched capacitance per decoded row, fF.
+    pub decoder_cap_per_row_ff: f64,
+    /// Fixed decoder/driver overhead per access, fF.
+    pub decoder_base_ff: f64,
+    /// Precharge driver capacitance per column, fF.
+    pub precharge_ff_per_col: f64,
+    /// Output driver capacitance per delivered bit, fF.
+    pub output_driver_ff: f64,
+    /// Effective switched capacitance of one 2-input XOR gate per
+    /// operation, fF (includes average activity factor and local
+    /// wiring) — the HSPICE-derived figure of the paper.
+    pub xor_gate_ff: f64,
+    /// Layout area of one XOR-equivalent gate, µm².
+    pub xor_gate_area_um2: f64,
+    /// Fraction of the array macro occupied by bitcells (the rest is
+    /// periphery: decoders, sense amps, drivers).
+    pub array_efficiency: f64,
+    /// Base access delay of a 64-row minimum-size 6T array at 1.0V, ns.
+    pub base_delay_ns: f64,
+}
+
+impl TechnologyParams {
+    /// The 32nm parameter set used throughout the reproduction.
+    pub fn nm32() -> Self {
+        TechnologyParams {
+            wire_cap_ff_per_um: 0.20,
+            sense_amp_ff: 1.2,
+            decoder_cap_per_row_ff: 0.08,
+            decoder_base_ff: 4.0,
+            precharge_ff_per_col: 0.25,
+            output_driver_ff: 0.8,
+            xor_gate_ff: 0.06,
+            xor_gate_area_um2: 0.35,
+            array_efficiency: 0.72,
+            base_delay_ns: 0.45,
+        }
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        TechnologyParams::nm32()
+    }
+}
+
+/// A supply-voltage / clock-frequency operating point.
+///
+/// The paper's two modes: HP at 1.0V / 1GHz and ULE at 350mV / 5MHz
+/// (in line with the Intel wide-operating-range IA-32 processor, Jain
+/// et al., ISSCC 2012).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Clock frequency, hertz.
+    pub freq_hz: f64,
+}
+
+impl OperatingPoint {
+    /// High-performance mode: 1.0V, 1GHz.
+    pub fn hp() -> Self {
+        OperatingPoint {
+            vdd: 1.0,
+            freq_hz: 1.0e9,
+        }
+    }
+
+    /// Ultra-low-energy mode: 350mV, 5MHz.
+    pub fn ule() -> Self {
+        OperatingPoint {
+            vdd: 0.35,
+            freq_hz: 5.0e6,
+        }
+    }
+
+    /// Creates a custom operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` or `freq_hz` is not positive and finite.
+    pub fn new(vdd: f64, freq_hz: f64) -> Self {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "frequency must be positive"
+        );
+        OperatingPoint { vdd, freq_hz }
+    }
+
+    /// Clock period in seconds.
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0e9 / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_points() {
+        let hp = OperatingPoint::hp();
+        assert_eq!(hp.vdd, 1.0);
+        assert_eq!(hp.cycle_ns(), 1.0);
+        let ule = OperatingPoint::ule();
+        assert_eq!(ule.vdd, 0.35);
+        assert_eq!(ule.cycle_ns(), 200.0);
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let op = OperatingPoint::new(0.5, 2.0e8);
+        assert!((op.cycle_s() - 5e-9).abs() < 1e-18);
+        assert!((op.cycle_ns() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must be positive")]
+    fn rejects_bad_vdd() {
+        let _ = OperatingPoint::new(0.0, 1e9);
+    }
+
+    #[test]
+    fn default_is_32nm() {
+        assert_eq!(TechnologyParams::default(), TechnologyParams::nm32());
+    }
+}

@@ -1,0 +1,699 @@
+//! The bit-accurate functional hybrid cache.
+//!
+//! Every stored word (data and tag) is kept as a real EDC codeword
+//! produced by the active code of the writing mode. Hard faults are
+//! stuck-at bits overlaid on every read; soft errors are injected bit
+//! flips. The decode path therefore exercises the actual
+//! [`hyvec_edc`] machinery, counting corrections, detected
+//! uncorrectable errors and — crucially for the unprotected baselines —
+//! *silent corruptions*, where the delivered payload differs from what
+//! was written without any error signal.
+
+use crate::config::{CacheConfig, Mode, WaySpec};
+use crate::stats::CacheStats;
+use hyvec_edc::{Decoded, EdcCode};
+use std::collections::HashMap;
+
+/// Stuck-at fault pattern for one stored word: where `mask` is set,
+/// the cell always reads `value` regardless of what was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StuckBits {
+    /// Bit positions that are hard-faulty.
+    pub mask: u64,
+    /// The values the faulty positions are stuck at.
+    pub value: u64,
+}
+
+impl StuckBits {
+    /// Applies the fault to a stored word as seen by a read.
+    pub fn apply(&self, stored: u64) -> u64 {
+        (stored & !self.mask) | (self.value & self.mask)
+    }
+
+    /// Number of faulty bits.
+    pub fn count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Identifies one stored word inside a cache: data words are slots
+/// `0..words_per_line`, the tag is the last slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordSlot {
+    /// The way index.
+    pub way: usize,
+    /// The set index.
+    pub set: u64,
+    /// Word index within the line, or `words_per_line` for the tag.
+    pub slot: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    /// Stored tag codeword (as written, before faults).
+    tag_word: u64,
+    /// Stored data codewords.
+    words: Vec<u64>,
+    lru: u64,
+}
+
+#[derive(Debug)]
+struct WayState {
+    spec: WaySpec,
+    data_code_hp: Box<dyn EdcCode>,
+    data_code_ule: Box<dyn EdcCode>,
+    tag_code_hp: Box<dyn EdcCode>,
+    tag_code_ule: Box<dyn EdcCode>,
+    lines: Vec<Line>,
+}
+
+impl WayState {
+    fn data_code(&self, mode: Mode) -> &dyn EdcCode {
+        match mode {
+            Mode::Hp => self.data_code_hp.as_ref(),
+            Mode::Ule => self.data_code_ule.as_ref(),
+        }
+    }
+
+    fn tag_code(&self, mode: Mode) -> &dyn EdcCode {
+        match mode {
+            Mode::Hp => self.tag_code_hp.as_ref(),
+            Mode::Ule => self.tag_code_ule.as_ref(),
+        }
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Bit errors corrected by EDC during this access.
+    pub corrected: u32,
+    /// Detected uncorrectable errors during this access.
+    pub detected: u32,
+    /// Silent corruptions: payload delivered differs from what was
+    /// written, with no error signalled (only possible without/beyond
+    /// the protection).
+    pub silent: u32,
+    /// Whether a dirty victim was written back.
+    pub writeback: bool,
+}
+
+/// The functional hybrid set-associative cache.
+///
+/// See the [module docs](self) for the storage model.
+#[derive(Debug)]
+pub struct HybridCache {
+    config: CacheConfig,
+    ways: Vec<WayState>,
+    faults: HashMap<WordSlot, StuckBits>,
+    mode: Mode,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+/// The deterministic payload written for a given word address; reads
+/// are checked against it to expose silent corruption.
+pub fn value_for(word_addr: u64) -> u64 {
+    // splitmix64 finalizer, truncated to 32 bits.
+    let mut z = word_addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & 0xFFFF_FFFF
+}
+
+impl HybridCache {
+    /// Builds an empty cache in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig, mode: Mode) -> Self {
+        config.validate();
+        let sets = config.sets();
+        let words = config.words_per_line();
+        let ways = config
+            .ways
+            .iter()
+            .map(|spec| WayState {
+                spec: *spec,
+                data_code_hp: spec
+                    .protection_hp
+                    .build(config.word_bits as usize)
+                    .expect("word width supported"),
+                data_code_ule: spec
+                    .protection_ule
+                    .build(config.word_bits as usize)
+                    .expect("word width supported"),
+                tag_code_hp: spec
+                    .protection_hp
+                    .build(config.tag_bits as usize)
+                    .expect("tag width supported"),
+                tag_code_ule: spec
+                    .protection_ule
+                    .build(config.tag_bits as usize)
+                    .expect("tag width supported"),
+                lines: (0..sets)
+                    .map(|_| Line {
+                        valid: false,
+                        dirty: false,
+                        tag_word: 0,
+                        words: vec![0; words as usize],
+                        lru: 0,
+                    })
+                    .collect(),
+            })
+            .collect();
+        HybridCache {
+            config,
+            ways,
+            faults: HashMap::new(),
+            mode,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Installs a stuck-at fault pattern on one stored word.
+    pub fn set_stuck_bits(&mut self, slot: WordSlot, faults: StuckBits) {
+        if faults.mask == 0 {
+            self.faults.remove(&slot);
+        } else {
+            self.faults.insert(slot, faults);
+        }
+    }
+
+    /// Number of faulty bits currently installed.
+    pub fn fault_bit_count(&self) -> u64 {
+        self.faults.values().map(|f| u64::from(f.count())).sum()
+    }
+
+    /// Flips one stored bit (a soft error / SEU). The flip lands in
+    /// the *stored* word, so a later rewrite clears it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn inject_soft_error(&mut self, slot: WordSlot, bit: u32) {
+        let words_per_line = self.config.words_per_line();
+        let line = &mut self.ways[slot.way].lines[slot.set as usize];
+        if slot.slot == words_per_line {
+            line.tag_word ^= 1u64 << bit;
+        } else {
+            line.words[slot.slot as usize] ^= 1u64 << bit;
+        }
+    }
+
+    /// Switches operating mode, flushing the cache (dirty lines are
+    /// written back) — the Vcc transition invalidates HP ways anyway
+    /// and re-encodes would otherwise be needed where the protection
+    /// level changes.
+    ///
+    /// Returns the number of lines written back.
+    pub fn set_mode(&mut self, mode: Mode) -> u64 {
+        let mut writebacks = 0;
+        for way in &mut self.ways {
+            for line in &mut way.lines {
+                if line.valid && line.dirty {
+                    writebacks += 1;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        self.stats.writebacks += writebacks;
+        self.mode = mode;
+        writebacks
+    }
+
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let line_addr = addr / self.config.line_bytes;
+        let set = line_addr % self.config.sets();
+        let tag = (line_addr / self.config.sets()) & ((1u64 << self.config.tag_bits) - 1);
+        (set, tag)
+    }
+
+    fn read_stored(&self, slot: WordSlot) -> u64 {
+        let line = &self.ways[slot.way].lines[slot.set as usize];
+        let raw = if slot.slot == self.config.words_per_line() {
+            line.tag_word
+        } else {
+            line.words[slot.slot as usize]
+        };
+        match self.faults.get(&slot) {
+            Some(f) => f.apply(raw),
+            None => raw,
+        }
+    }
+
+    /// Looks up `addr`, returning the hit way if any, and counts tag
+    /// EDC activity.
+    fn lookup(&mut self, set: u64, tag: u64) -> (Option<usize>, u32, u32) {
+        let mode = self.mode;
+        let words_per_line = self.config.words_per_line();
+        let mut corrected = 0;
+        let mut detected = 0;
+        let mut hit_way = None;
+        for w in 0..self.ways.len() {
+            if !self.ways[w].spec.enabled(mode) || !self.ways[w].lines[set as usize].valid {
+                continue;
+            }
+            let stored = self.read_stored(WordSlot {
+                way: w,
+                set,
+                slot: words_per_line,
+            });
+            match self.ways[w].tag_code(mode).decode(stored) {
+                Decoded::Clean { data } => {
+                    if data == tag {
+                        hit_way = Some(w);
+                    }
+                }
+                Decoded::Corrected { data, errors } => {
+                    corrected += errors;
+                    if data == tag {
+                        hit_way = Some(w);
+                    }
+                }
+                Decoded::Detected { .. } => {
+                    // Tag unreadable: conservatively a mismatch.
+                    detected += 1;
+                }
+            }
+        }
+        (hit_way, corrected, detected)
+    }
+
+    /// Performs one access. `addr` is a byte address; writes store the
+    /// deterministic payload for the word, reads verify it.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        let mode = self.mode;
+        let (set, tag) = self.index(addr);
+        let word_idx = (addr % self.config.line_bytes) / (u64::from(self.config.word_bits) / 8);
+        self.lru_clock += 1;
+        self.stats.accesses += 1;
+        if is_write {
+            self.stats.writes += 1;
+        }
+
+        let (hit_way, mut corrected, mut detected) = self.lookup(set, tag);
+        let mut outcome = AccessOutcome::default();
+
+        let way = match hit_way {
+            Some(w) => {
+                self.stats.hits += 1;
+                outcome.hit = true;
+                w
+            }
+            None => {
+                self.stats.misses += 1;
+                let victim = self.choose_victim(set);
+                outcome.writeback = self.fill(victim, set, tag, addr);
+                victim
+            }
+        };
+
+        let slot = WordSlot {
+            way,
+            set,
+            slot: word_idx,
+        };
+        let word_addr = addr / 4 * 4;
+        if is_write {
+            // Store: encode the new payload with the active code.
+            let code = self.ways[way].data_code(mode);
+            let encoded = code.encode(value_for(word_addr));
+            let line = &mut self.ways[way].lines[set as usize];
+            line.words[word_idx as usize] = encoded;
+            line.dirty = true;
+            line.lru = self.lru_clock;
+        } else {
+            // Load: decode through faults and verify the payload.
+            let stored = self.read_stored(slot);
+            let code = self.ways[way].data_code(mode);
+            match code.decode(stored) {
+                Decoded::Clean { data } => {
+                    if data != value_for(word_addr) {
+                        outcome.silent += 1;
+                    }
+                }
+                Decoded::Corrected { data, errors } => {
+                    corrected += errors;
+                    if data != value_for(word_addr) {
+                        outcome.silent += 1;
+                    }
+                }
+                Decoded::Detected { .. } => {
+                    detected += 1;
+                }
+            }
+            self.ways[way].lines[set as usize].lru = self.lru_clock;
+        }
+
+        outcome.corrected = corrected;
+        outcome.detected = detected;
+        self.stats.corrected += u64::from(corrected);
+        self.stats.detected += u64::from(detected);
+        self.stats.silent_corruptions += u64::from(outcome.silent);
+        outcome
+    }
+
+    fn choose_victim(&self, set: u64) -> usize {
+        let mode = self.mode;
+        let mut best: Option<(usize, u64)> = None;
+        for (w, way) in self.ways.iter().enumerate() {
+            if !way.spec.enabled(mode) {
+                continue;
+            }
+            let line = &way.lines[set as usize];
+            if !line.valid {
+                return w;
+            }
+            match best {
+                Some((_, lru)) if line.lru >= lru => {}
+                _ => best = Some((w, line.lru)),
+            }
+        }
+        best.expect("at least one enabled way").0
+    }
+
+    /// Fills `(set, tag)` into `way`, returning whether a dirty victim
+    /// was evicted.
+    fn fill(&mut self, way: usize, set: u64, tag: u64, addr: u64) -> bool {
+        let mode = self.mode;
+        let words_per_line = self.config.words_per_line();
+        let line_base = addr / self.config.line_bytes * self.config.line_bytes;
+        let data_code = match mode {
+            Mode::Hp => self.ways[way].data_code_hp.as_ref(),
+            Mode::Ule => self.ways[way].data_code_ule.as_ref(),
+        };
+        let mut new_words = Vec::with_capacity(words_per_line as usize);
+        for i in 0..words_per_line {
+            let word_addr = line_base + i * (u64::from(self.config.word_bits) / 8);
+            new_words.push(data_code.encode(value_for(word_addr)));
+        }
+        let tag_encoded = self.ways[way].tag_code(mode).encode(tag);
+        let line = &mut self.ways[way].lines[set as usize];
+        let writeback = line.valid && line.dirty;
+        line.words = new_words;
+        line.tag_word = tag_encoded;
+        line.valid = true;
+        line.dirty = false;
+        line.lru = self.lru_clock;
+        self.stats.fills += 1;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        writeback
+    }
+
+    /// Number of ways enabled in the current mode.
+    pub fn enabled_ways(&self) -> usize {
+        self.ways
+            .iter()
+            .filter(|w| w.spec.enabled(self.mode))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use hyvec_edc::Protection;
+    use hyvec_sram::CellKind;
+
+    fn cache() -> HybridCache {
+        HybridCache::new(SystemConfig::uniform_6t().il1, Mode::Hp)
+    }
+
+    fn hybrid_a_proposal() -> HybridCache {
+        let mut ways = vec![crate::config::WaySpec::hp_way(1.0, Protection::None); 7];
+        ways.push(crate::config::WaySpec::ule_way(
+            CellKind::Sram8T,
+            1.8,
+            Protection::None,
+            Protection::Secded,
+        ));
+        HybridCache::new(CacheConfig::l1_8kb(ways), Mode::Ule)
+    }
+
+    use crate::config::CacheConfig;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache();
+        let out = c.access(0x1000, false);
+        assert!(!out.hit);
+        let out = c.access(0x1004, false);
+        assert!(out.hit, "same line must hit");
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = cache();
+        c.access(0x0, false);
+        c.access(32, false); // next set
+        assert_eq!(c.stats().misses, 2);
+        assert!(c.access(0x0, false).hit);
+        assert!(c.access(32, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        let mut c = cache();
+        let sets = c.config().sets();
+        let line = c.config().line_bytes;
+        // Fill all 8 ways of set 0.
+        for i in 0..8u64 {
+            c.access(i * sets * line, false);
+        }
+        // Touch way of line 0 to refresh it.
+        c.access(0, false);
+        // A ninth line evicts the LRU (line 1, not line 0).
+        c.access(8 * sets * line, false);
+        assert!(c.access(0, false).hit, "refreshed line must survive");
+        assert!(!c.access(sets * line, false).hit, "LRU line must be gone");
+    }
+
+    #[test]
+    fn ule_mode_uses_only_ule_ways() {
+        let mut c = hybrid_a_proposal();
+        assert_eq!(c.enabled_ways(), 1);
+        let sets = c.config().sets();
+        let line = c.config().line_bytes;
+        // Two conflicting lines thrash a single way.
+        c.access(0, false);
+        c.access(sets * line, false);
+        assert!(!c.access(0, false).hit, "direct-mapped ULE way must evict");
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_cause_writebacks() {
+        let mut c = hybrid_a_proposal();
+        let sets = c.config().sets();
+        let line = c.config().line_bytes;
+        c.access(0, true); // miss + fill + dirty
+        let out = c.access(sets * line, false); // evicts dirty line
+        assert!(out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_cache_delivers_correct_payloads() {
+        let mut c = cache();
+        for addr in (0..4096).step_by(4) {
+            let out = c.access(addr, false);
+            assert_eq!(out.silent, 0);
+            assert_eq!(out.detected, 0);
+        }
+        assert_eq!(c.stats().silent_corruptions, 0);
+    }
+
+    #[test]
+    fn secded_corrects_a_stuck_bit() {
+        let mut c = hybrid_a_proposal();
+        c.access(0, false); // fill set 0 into way 7
+                            // Fault bit 3 of data word 0 in the ULE way, stuck at the
+                            // wrong value.
+        let slot = WordSlot {
+            way: 7,
+            set: 0,
+            slot: 0,
+        };
+        let stored = c.read_stored(slot);
+        c.set_stuck_bits(
+            slot,
+            StuckBits {
+                mask: 1 << 3,
+                value: !stored & (1 << 3),
+            },
+        );
+        let out = c.access(0, false);
+        assert!(out.hit);
+        assert_eq!(out.corrected, 1, "SECDED must correct the stuck bit");
+        assert_eq!(out.silent, 0);
+        assert_eq!(c.stats().corrected, 1);
+    }
+
+    #[test]
+    fn unprotected_stuck_bit_corrupts_silently() {
+        // Baseline scenario A at ULE: 10T with no coding. A stuck bit
+        // is delivered as wrong data with no signal — the failure mode
+        // the paper's yield math must prevent by sizing.
+        let mut ways = vec![crate::config::WaySpec::hp_way(1.0, Protection::None); 7];
+        ways.push(crate::config::WaySpec::ule_way(
+            CellKind::Sram10T,
+            1.0,
+            Protection::None,
+            Protection::None,
+        ));
+        let mut c = HybridCache::new(CacheConfig::l1_8kb(ways), Mode::Ule);
+        c.access(0, false);
+        let slot = WordSlot {
+            way: 7,
+            set: 0,
+            slot: 0,
+        };
+        let stored = c.read_stored(slot);
+        c.set_stuck_bits(
+            slot,
+            StuckBits {
+                mask: 1 << 5,
+                value: !stored & (1 << 5),
+            },
+        );
+        let out = c.access(0, false);
+        assert!(out.hit);
+        assert_eq!(out.silent, 1, "unprotected fault must corrupt silently");
+        assert_eq!(out.corrected, 0);
+    }
+
+    #[test]
+    fn dected_corrects_hard_fault_plus_soft_error() {
+        // Scenario B at ULE: 8T + DECTED handles a stuck bit AND a
+        // soft error in the same word — the paper's justification for
+        // DECTED.
+        let mut ways = vec![crate::config::WaySpec::hp_way(1.0, Protection::Secded); 7];
+        ways.push(crate::config::WaySpec::ule_way(
+            CellKind::Sram8T,
+            1.9,
+            Protection::Secded,
+            Protection::Dected,
+        ));
+        let mut c = HybridCache::new(CacheConfig::l1_8kb(ways), Mode::Ule);
+        c.access(0, false);
+        let slot = WordSlot {
+            way: 7,
+            set: 0,
+            slot: 0,
+        };
+        let stored = c.read_stored(slot);
+        c.set_stuck_bits(
+            slot,
+            StuckBits {
+                mask: 1 << 7,
+                value: !stored & (1 << 7),
+            },
+        );
+        c.inject_soft_error(slot, 19);
+        let out = c.access(0, false);
+        assert!(out.hit);
+        assert_eq!(out.corrected, 2, "DECTED must fix hard+soft together");
+        assert_eq!(out.silent, 0);
+    }
+
+    #[test]
+    fn secded_detects_but_cannot_fix_double_fault() {
+        let mut c = hybrid_a_proposal();
+        c.access(0, false);
+        let slot = WordSlot {
+            way: 7,
+            set: 0,
+            slot: 0,
+        };
+        let stored = c.read_stored(slot);
+        c.set_stuck_bits(
+            slot,
+            StuckBits {
+                mask: (1 << 2) | (1 << 9),
+                value: !stored & ((1 << 2) | (1 << 9)),
+            },
+        );
+        let out = c.access(0, false);
+        assert_eq!(out.detected, 1);
+        assert_eq!(out.silent, 0, "detected errors are not silent");
+    }
+
+    #[test]
+    fn mode_switch_flushes() {
+        let mut c = hybrid_a_proposal();
+        c.access(0, true);
+        let wb = c.set_mode(Mode::Hp);
+        assert_eq!(wb, 1, "dirty line written back on switch");
+        assert!(!c.access(0, false).hit, "flush invalidates");
+        assert_eq!(c.enabled_ways(), 8);
+    }
+
+    #[test]
+    fn tag_faults_in_unprotected_way_cause_misses_not_lies() {
+        let mut c = cache();
+        c.access(0, false);
+        let tag_slot = WordSlot {
+            way: 0,
+            set: 0,
+            slot: c.config().words_per_line(),
+        };
+        // Find which way holds the line.
+        let way = (0..8)
+            .find(|&w| c.ways[w].lines[0].valid)
+            .expect("line filled");
+        let tag_slot = WordSlot { way, ..tag_slot };
+        let stored = c.read_stored(tag_slot);
+        c.set_stuck_bits(
+            tag_slot,
+            StuckBits {
+                mask: 1,
+                value: !stored & 1,
+            },
+        );
+        // The corrupted tag no longer matches: miss (refill), not a
+        // false hit.
+        let out = c.access(0, false);
+        assert!(!out.hit);
+    }
+
+    #[test]
+    fn value_for_is_deterministic_and_word_stable() {
+        assert_eq!(value_for(0x1234), value_for(0x1234));
+        assert_ne!(value_for(0x1234), value_for(0x1238));
+        assert!(value_for(u64::MAX) <= u32::MAX as u64);
+    }
+}

@@ -1,0 +1,266 @@
+//! Configuration types for the hybrid cache and the simulated system.
+
+use hyvec_cachemodel::{OperatingPoint, TechnologyParams};
+use hyvec_edc::Protection;
+use hyvec_sram::{CellKind, SizedCell};
+
+/// The two operating modes of the paper's platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// High-performance: high Vcc, all cache ways enabled.
+    Hp,
+    /// Ultra-low-energy: NST Vcc, only the ULE ways enabled (HP ways
+    /// gated off via gated-Vdd).
+    Ule,
+}
+
+impl Mode {
+    /// The default operating point of the mode (1V/1GHz or 350mV/5MHz).
+    pub fn operating_point(self) -> OperatingPoint {
+        match self {
+            Mode::Hp => OperatingPoint::hp(),
+            Mode::Ule => OperatingPoint::ule(),
+        }
+    }
+}
+
+/// Static description of one cache way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaySpec {
+    /// The bitcell implementing the way.
+    pub cell: SizedCell,
+    /// Whether the way stays powered at ULE mode (ULE way) or is gated
+    /// off (HP way).
+    pub ule_enabled: bool,
+    /// Protection applied at HP mode.
+    pub protection_hp: Protection,
+    /// Protection applied at ULE mode.
+    pub protection_ule: Protection,
+}
+
+impl WaySpec {
+    /// An HP way: 6T cells, gated at ULE, with `protection` in both
+    /// modes (HP ways never operate at ULE).
+    pub fn hp_way(sizing: f64, protection: Protection) -> Self {
+        WaySpec {
+            cell: SizedCell::new(CellKind::Sram6T, sizing),
+            ule_enabled: false,
+            protection_hp: protection,
+            protection_ule: protection,
+        }
+    }
+
+    /// A ULE way of the given cell with per-mode protection.
+    pub fn ule_way(
+        kind: CellKind,
+        sizing: f64,
+        protection_hp: Protection,
+        protection_ule: Protection,
+    ) -> Self {
+        WaySpec {
+            cell: SizedCell::new(kind, sizing),
+            ule_enabled: true,
+            protection_hp,
+            protection_ule,
+        }
+    }
+
+    /// Protection active in `mode`.
+    pub fn protection(&self, mode: Mode) -> Protection {
+        match mode {
+            Mode::Hp => self.protection_hp,
+            Mode::Ule => self.protection_ule,
+        }
+    }
+
+    /// Check bits that must be *stored* per word: the maximum over the
+    /// two modes (a DECTED-at-ULE way stores 13 check-bit columns even
+    /// when only SECDED is active at HP).
+    pub fn stored_check_bits(&self) -> usize {
+        self.protection_hp
+            .check_bits()
+            .max(self.protection_ule.check_bits())
+    }
+
+    /// Whether the way participates in lookups at `mode`.
+    pub fn enabled(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Hp => true,
+            Mode::Ule => self.ule_enabled,
+        }
+    }
+}
+
+/// Geometry and composition of one L1 cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (data payload, excluding check bits).
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// The ways, in lookup order.
+    pub ways: Vec<WaySpec>,
+    /// Protected data-word width, bits (32 in the paper).
+    pub word_bits: u32,
+    /// Tag width, bits (26 in the paper).
+    pub tag_bits: u32,
+}
+
+impl CacheConfig {
+    /// An 8KB, 32B-line cache with the given ways (the paper's L1
+    /// geometry when 8 ways are supplied).
+    pub fn l1_8kb(ways: Vec<WaySpec>) -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways,
+            word_bits: 32,
+            tag_bits: 26,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / self.ways.len() as u64
+    }
+
+    /// 32-bit words per line.
+    pub fn words_per_line(&self) -> u64 {
+        self.line_bytes * 8 / u64::from(self.word_bits)
+    }
+
+    /// Data words per way (`DW` of the paper's Eq. (2), per way).
+    pub fn data_words_per_way(&self) -> u64 {
+        self.sets() * self.words_per_line()
+    }
+
+    /// Tag words per way (`TW` of the paper's Eq. (2), per way).
+    pub fn tag_words_per_way(&self) -> u64 {
+        self.sets()
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or do not divide evenly.
+    pub fn validate(&self) {
+        assert!(!self.ways.is_empty(), "cache needs at least one way");
+        assert!(
+            self.size_bytes
+                .is_multiple_of(self.line_bytes * self.ways.len() as u64),
+            "size must divide into lines and ways"
+        );
+        assert!(self.sets().is_power_of_two(), "sets must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            (self.line_bytes * 8).is_multiple_of(u64::from(self.word_bits)),
+            "line must hold whole words"
+        );
+        assert!(
+            self.ways.iter().any(|w| w.ule_enabled),
+            "at least one ULE way required for hybrid operation"
+        );
+    }
+}
+
+/// Configuration of the full simulated system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Instruction L1.
+    pub il1: CacheConfig,
+    /// Data L1.
+    pub dl1: CacheConfig,
+    /// Main-memory latency in cycles (paper: ~20).
+    pub memory_latency: u32,
+    /// Technology constants for the power model.
+    pub tech: TechnologyParams,
+    /// Sizing of the 10T cells used by the non-L1 SRAM arrays (RF,
+    /// TLBs), which must work at any voltage. Shared by baseline and
+    /// proposal so the uncore never skews a comparison.
+    pub uncore_ten_t_sizing: f64,
+}
+
+impl SystemConfig {
+    /// A uniform all-6T 7+1 system used as a neutral default in tests
+    /// and examples (one 6T way marked ULE-enabled; not a realistic
+    /// ULE design, but a valid cache).
+    pub fn uniform_6t() -> Self {
+        let mut ways = vec![WaySpec::hp_way(1.0, Protection::None); 7];
+        ways.push(WaySpec {
+            cell: SizedCell::new(CellKind::Sram6T, 1.0),
+            ule_enabled: true,
+            protection_hp: Protection::None,
+            protection_ule: Protection::None,
+        });
+        SystemConfig {
+            il1: CacheConfig::l1_8kb(ways.clone()),
+            dl1: CacheConfig::l1_8kb(ways),
+            memory_latency: 20,
+            tech: TechnologyParams::nm32(),
+            uncore_ten_t_sizing: 2.65,
+        }
+    }
+
+    /// Builds a system from identical IL1/DL1 way lists.
+    pub fn with_ways(ways: Vec<WaySpec>, memory_latency: u32) -> Self {
+        SystemConfig {
+            il1: CacheConfig::l1_8kb(ways.clone()),
+            dl1: CacheConfig::l1_8kb(ways),
+            memory_latency,
+            tech: TechnologyParams::nm32(),
+            uncore_ten_t_sizing: 2.65,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = SystemConfig::uniform_6t();
+        cfg.il1.validate();
+        assert_eq!(cfg.il1.sets(), 32);
+        assert_eq!(cfg.il1.words_per_line(), 8);
+        assert_eq!(cfg.il1.data_words_per_way(), 256);
+        assert_eq!(cfg.il1.tag_words_per_way(), 32);
+    }
+
+    #[test]
+    fn way_spec_mode_logic() {
+        let hp = WaySpec::hp_way(1.0, Protection::None);
+        assert!(hp.enabled(Mode::Hp));
+        assert!(!hp.enabled(Mode::Ule));
+        let ule = WaySpec::ule_way(CellKind::Sram8T, 1.8, Protection::None, Protection::Secded);
+        assert!(ule.enabled(Mode::Hp));
+        assert!(ule.enabled(Mode::Ule));
+        assert_eq!(ule.protection(Mode::Hp), Protection::None);
+        assert_eq!(ule.protection(Mode::Ule), Protection::Secded);
+        assert_eq!(ule.stored_check_bits(), 7);
+        let b = WaySpec::ule_way(
+            CellKind::Sram8T,
+            1.9,
+            Protection::Secded,
+            Protection::Dected,
+        );
+        assert_eq!(b.stored_check_bits(), 13);
+    }
+
+    #[test]
+    fn mode_operating_points() {
+        assert_eq!(Mode::Hp.operating_point().vdd, 1.0);
+        assert_eq!(Mode::Ule.operating_point().vdd, 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "ULE way required")]
+    fn validate_requires_ule_way() {
+        let cfg = CacheConfig::l1_8kb(vec![WaySpec::hp_way(1.0, Protection::None); 8]);
+        cfg.validate();
+    }
+}

@@ -1,0 +1,403 @@
+//! The in-order core timing model driving both L1 caches.
+//!
+//! The paper's platform is deliberately simple: one in-order core
+//! (resembling the Intel wide-operating-range IA-32 part), split 8KB
+//! L1s, ~20-cycle memory. The timing model is correspondingly simple:
+//!
+//! * one base cycle per instruction (scalar, in-order);
+//! * a miss in either L1 stalls for the memory latency plus the EDC
+//!   pipeline latency of the fill path (encode before write);
+//! * an EDC *correction* event costs one recovery bubble;
+//! * hits are EDC-latency-free: at 200ns ULE cycles the syndrome
+//!   logic fits comfortably in the existing pipeline slack, matching
+//!   the paper's "negligible (around 3%)" execution-time overhead,
+//!   which stems from the fill/correction path.
+
+use crate::cache::{HybridCache, WordSlot};
+use crate::config::{Mode, SystemConfig};
+use crate::power::{EnergyBreakdown, PowerModel};
+use crate::stats::RunStats;
+use hyvec_cachemodel::OperatingPoint;
+use hyvec_mediabench::TraceEntry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Timing and event statistics.
+    pub stats: RunStats,
+    /// Energy breakdown over the whole run.
+    pub energy: EnergyBreakdown,
+    /// The mode the run executed in.
+    pub mode: Mode,
+    /// Wall-clock execution time in seconds at the mode's frequency.
+    pub seconds: f64,
+}
+
+impl RunReport {
+    /// Energy per instruction, pJ.
+    pub fn epi_pj(&self) -> f64 {
+        self.energy.epi_pj(self.stats.instructions)
+    }
+}
+
+/// The simulated system: core + IL1 + DL1 + power model.
+#[derive(Debug)]
+pub struct System {
+    il1: HybridCache,
+    dl1: HybridCache,
+    power: PowerModel,
+    memory_latency: u32,
+    /// Soft-error injection: expected upsets per stored bit per cycle
+    /// (0 disables). Real rates are ~1e-17/bit/s; experiments
+    /// accelerate this by many orders of magnitude to observe events
+    /// in feasible simulations.
+    seu_rate_per_bit_cycle: f64,
+    seu_rng: SmallRng,
+}
+
+impl System {
+    /// Builds a system in HP mode.
+    pub fn new(config: SystemConfig) -> Self {
+        let power = PowerModel::new(&config);
+        System {
+            il1: HybridCache::new(config.il1.clone(), Mode::Hp),
+            dl1: HybridCache::new(config.dl1.clone(), Mode::Hp),
+            power,
+            memory_latency: config.memory_latency,
+            seu_rate_per_bit_cycle: 0.0,
+            seu_rng: SmallRng::seed_from_u64(0x5E0_E44),
+        }
+    }
+
+    /// Enables runtime soft-error injection at the given expected
+    /// upsets per stored bit per cycle, with a deterministic seed.
+    ///
+    /// Terrestrial rates are around 1e-17 per bit-second (amplified at
+    /// NST voltage); pass an accelerated figure (e.g. `1e-9`) to
+    /// observe upsets within a short simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn set_soft_error_rate(&mut self, rate: f64, seed: u64) {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
+        self.seu_rate_per_bit_cycle = rate;
+        self.seu_rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Flips one uniformly random stored bit among the ULE-way words
+    /// of one cache (data and tag, payload and check bits alike).
+    fn inject_random_seu(cache: &mut HybridCache, rng: &mut SmallRng) {
+        let config = cache.config().clone();
+        let ule_ways: Vec<usize> = config
+            .ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.ule_enabled)
+            .map(|(i, _)| i)
+            .collect();
+        if ule_ways.is_empty() {
+            return;
+        }
+        let way = ule_ways[rng.gen_range(0..ule_ways.len())];
+        let set = rng.gen_range(0..config.sets());
+        let slot = rng.gen_range(0..=config.words_per_line());
+        let spec = config.ways[way];
+        let bits = if slot == config.words_per_line() {
+            config.tag_bits as usize + spec.stored_check_bits()
+        } else {
+            config.word_bits as usize + spec.stored_check_bits()
+        };
+        let bit = rng.gen_range(0..bits) as u32;
+        cache.inject_soft_error(WordSlot { way, set, slot }, bit);
+    }
+
+    /// The instruction cache (e.g. for fault injection).
+    pub fn il1_mut(&mut self) -> &mut HybridCache {
+        &mut self.il1
+    }
+
+    /// The data cache (e.g. for fault injection).
+    pub fn dl1_mut(&mut self) -> &mut HybridCache {
+        &mut self.dl1
+    }
+
+    /// The power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Runs `trace` to completion at `mode`, returning timing and
+    /// energy. Caches are flushed on entry (the mode transition) and
+    /// statistics are reset; installed fault maps persist.
+    pub fn run<I>(&mut self, trace: I, mode: Mode) -> RunReport
+    where
+        I: IntoIterator<Item = TraceEntry>,
+    {
+        self.run_at(trace, mode, mode.operating_point())
+    }
+
+    /// Like [`run`](System::run) but at an explicit operating point —
+    /// the DVS-sweep entry point (`mode` still decides which ways and
+    /// codes are active).
+    pub fn run_at<I>(&mut self, trace: I, mode: Mode, op: OperatingPoint) -> RunReport
+    where
+        I: IntoIterator<Item = TraceEntry>,
+    {
+        self.il1.set_mode(mode);
+        self.dl1.set_mode(mode);
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+
+        let il1_edc_latency = self.power.il1.edc_latency_cycles(mode);
+        let dl1_edc_latency = self.power.dl1.edc_latency_cycles(mode);
+
+        // Soft-error bookkeeping: bits exposed in the powered ULE ways
+        // of both caches.
+        let ule_bits: u64 = [self.il1.config(), self.dl1.config()]
+            .iter()
+            .map(|c| {
+                c.ways
+                    .iter()
+                    .filter(|w| w.ule_enabled)
+                    .map(|w| {
+                        c.sets()
+                            * (c.words_per_line()
+                                * (u64::from(c.word_bits) + w.stored_check_bits() as u64)
+                                + u64::from(c.tag_bits)
+                                + w.stored_check_bits() as u64)
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+
+        let mut stats = RunStats::default();
+        for entry in trace {
+            stats.instructions += 1;
+            let mut cycles = 1u64;
+
+            let fetch = self.il1.access(entry.pc, false);
+            if !fetch.hit {
+                let stall = u64::from(self.memory_latency + il1_edc_latency);
+                stats.il1_stall_cycles += stall;
+                stats.edc_stall_cycles += u64::from(il1_edc_latency);
+                cycles += stall;
+            }
+            if fetch.corrected > 0 {
+                stats.edc_stall_cycles += 1;
+                cycles += 1;
+            }
+
+            if let Some(access) = entry.access {
+                let data = self.dl1.access(access.addr, access.is_write);
+                if !data.hit {
+                    let stall = u64::from(self.memory_latency + dl1_edc_latency);
+                    stats.dl1_stall_cycles += stall;
+                    stats.edc_stall_cycles += u64::from(dl1_edc_latency);
+                    cycles += stall;
+                }
+                if data.corrected > 0 {
+                    stats.edc_stall_cycles += 1;
+                    cycles += 1;
+                }
+                // Sub-word stores into an EDC-protected word need a
+                // read-modify-write to regenerate the check bits: one
+                // extra cycle.
+                if access.is_write && access.size < 4 && dl1_edc_latency > 0 {
+                    stats.edc_stall_cycles += 1;
+                    cycles += 1;
+                }
+            }
+
+            stats.cycles += cycles;
+
+            // Soft errors arrive at rate * bits per cycle.
+            if self.seu_rate_per_bit_cycle > 0.0 {
+                let expected = self.seu_rate_per_bit_cycle * ule_bits as f64 * cycles as f64;
+                if self.seu_rng.gen::<f64>() < expected {
+                    if self.seu_rng.gen::<bool>() {
+                        Self::inject_random_seu(&mut self.il1, &mut self.seu_rng);
+                    } else {
+                        Self::inject_random_seu(&mut self.dl1, &mut self.seu_rng);
+                    }
+                }
+            }
+        }
+
+        stats.il1 = *self.il1.stats();
+        stats.dl1 = *self.dl1.stats();
+
+        let energy = self.power.breakdown_at(&stats, mode, op);
+        RunReport {
+            stats,
+            energy,
+            mode,
+            seconds: stats.cycles as f64 * op.cycle_s(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WaySpec;
+    use hyvec_edc::Protection;
+    use hyvec_mediabench::Benchmark;
+    use hyvec_sram::CellKind;
+
+    fn baseline_a() -> SystemConfig {
+        let mut ways = vec![WaySpec::hp_way(1.0, Protection::None); 7];
+        ways.push(WaySpec::ule_way(
+            CellKind::Sram10T,
+            2.65,
+            Protection::None,
+            Protection::None,
+        ));
+        SystemConfig::with_ways(ways, 20)
+    }
+
+    fn proposal_a() -> SystemConfig {
+        let mut ways = vec![WaySpec::hp_way(1.0, Protection::None); 7];
+        ways.push(WaySpec::ule_way(
+            CellKind::Sram8T,
+            1.8,
+            Protection::None,
+            Protection::Secded,
+        ));
+        SystemConfig::with_ways(ways, 20)
+    }
+
+    #[test]
+    fn trace_runs_to_completion() {
+        let mut sys = System::new(baseline_a());
+        let report = sys.run(Benchmark::G721C.trace(30_000, 1), Mode::Hp);
+        assert_eq!(report.stats.instructions, 30_000);
+        assert!(report.stats.cycles >= 30_000);
+        assert!(report.stats.cpi() >= 1.0);
+        assert!(report.epi_pj() > 0.0);
+        assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn bigbench_hits_well_at_hp() {
+        // "their workloads fit pretty well in cache" — Sec. IV-B.1.
+        let mut sys = System::new(baseline_a());
+        for b in Benchmark::BIG {
+            let report = sys.run(b.trace(60_000, 2), Mode::Hp);
+            assert!(
+                report.stats.il1.hit_ratio() > 0.95,
+                "{b}: IL1 hit ratio {}",
+                report.stats.il1.hit_ratio()
+            );
+            assert!(
+                report.stats.dl1.hit_ratio() > 0.85,
+                "{b}: DL1 hit ratio {}",
+                report.stats.dl1.hit_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn smallbench_hits_well_at_ule() {
+        // SmallBench fits the single 1KB ULE way — Sec. IV-A.1.
+        let mut sys = System::new(proposal_a());
+        for b in Benchmark::SMALL {
+            let report = sys.run(b.trace(60_000, 3), Mode::Ule);
+            assert!(
+                report.stats.il1.hit_ratio() > 0.95,
+                "{b}: IL1 hit ratio {}",
+                report.stats.il1.hit_ratio()
+            );
+            assert!(
+                report.stats.dl1.hit_ratio() > 0.90,
+                "{b}: DL1 hit ratio {}",
+                report.stats.dl1.hit_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ule_mode_runs_slower_in_wall_clock() {
+        let mut sys = System::new(proposal_a());
+        let hp = sys.run(Benchmark::AdpcmC.trace(20_000, 1), Mode::Hp);
+        let ule = sys.run(Benchmark::AdpcmC.trace(20_000, 1), Mode::Ule);
+        // 1GHz vs 5MHz: wall clock ~200x slower even with similar CPI.
+        assert!(ule.seconds > 50.0 * hp.seconds);
+    }
+
+    #[test]
+    fn edc_latency_shows_up_in_proposal_at_ule() {
+        let mut base = System::new(baseline_a());
+        let mut prop = System::new(proposal_a());
+        let b = base.run(Benchmark::EpicC.trace(50_000, 4), Mode::Ule);
+        let p = prop.run(Benchmark::EpicC.trace(50_000, 4), Mode::Ule);
+        assert_eq!(b.stats.edc_stall_cycles, 0, "baseline A has no EDC");
+        assert!(p.stats.edc_stall_cycles > 0, "proposal A pays EDC fills");
+        assert!(p.stats.cycles > b.stats.cycles);
+        // ...but the overhead is small (paper: ~3%).
+        let overhead = p.stats.cycles as f64 / b.stats.cycles as f64 - 1.0;
+        assert!(overhead < 0.10, "EDC overhead too large: {overhead}");
+    }
+
+    #[test]
+    fn proposal_epi_lower_at_hp() {
+        let mut base = System::new(baseline_a());
+        let mut prop = System::new(proposal_a());
+        let b = base.run(Benchmark::GsmC.trace(50_000, 5), Mode::Hp);
+        let p = prop.run(Benchmark::GsmC.trace(50_000, 5), Mode::Hp);
+        assert!(
+            p.epi_pj() < b.epi_pj(),
+            "proposal {} vs baseline {}",
+            p.epi_pj(),
+            b.epi_pj()
+        );
+    }
+
+    #[test]
+    fn soft_errors_are_corrected_by_secded_but_corrupt_unprotected() {
+        // Accelerated SEU rate so a 50k-instruction run sees many
+        // upsets.
+        let rate = 2e-8;
+        let mut prop = System::new(proposal_a());
+        prop.set_soft_error_rate(rate, 77);
+        let p = prop.run(Benchmark::AdpcmC.trace(50_000, 7), Mode::Ule);
+        assert!(
+            p.stats.corrected() > 0,
+            "accelerated SEUs should trigger corrections"
+        );
+        assert_eq!(
+            p.stats.silent_corruptions(),
+            0,
+            "SECDED must absorb single upsets"
+        );
+
+        let mut base = System::new(baseline_a());
+        base.set_soft_error_rate(rate, 77);
+        let b = base.run(Benchmark::AdpcmC.trace(50_000, 7), Mode::Ule);
+        assert!(
+            b.stats.silent_corruptions() > 0,
+            "the unprotected baseline must corrupt under the same rate"
+        );
+    }
+
+    #[test]
+    fn zero_rate_means_no_injection() {
+        let mut sys = System::new(proposal_a());
+        sys.set_soft_error_rate(0.0, 1);
+        let r = sys.run(Benchmark::EpicC.trace(20_000, 1), Mode::Ule);
+        assert_eq!(r.stats.corrected(), 0);
+        assert_eq!(r.stats.silent_corruptions(), 0);
+    }
+
+    #[test]
+    fn proposal_epi_much_lower_at_ule() {
+        let mut base = System::new(baseline_a());
+        let mut prop = System::new(proposal_a());
+        let b = base.run(Benchmark::AdpcmD.trace(50_000, 6), Mode::Ule);
+        let p = prop.run(Benchmark::AdpcmD.trace(50_000, 6), Mode::Ule);
+        let saving = 1.0 - p.epi_pj() / b.epi_pj();
+        assert!(saving > 0.20, "ULE saving too small: {saving}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Simulation statistics counters.
+
+/// Event counters of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses (loads + stores).
+    pub accesses: u64,
+    /// Store accesses.
+    pub writes: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Line fills performed.
+    pub fills: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Bit errors corrected by EDC.
+    pub corrected: u64,
+    /// Detected uncorrectable errors.
+    pub detected: u64,
+    /// Silently corrupted payloads delivered.
+    pub silent_corruptions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio over all accesses (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Timing statistics of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Cycles stalled on IL1 misses.
+    pub il1_stall_cycles: u64,
+    /// Cycles stalled on DL1 misses.
+    pub dl1_stall_cycles: u64,
+    /// Extra cycles charged to EDC encode/decode latency.
+    pub edc_stall_cycles: u64,
+    /// Instruction-cache statistics.
+    pub il1: CacheStats,
+    /// Data-cache statistics.
+    pub dl1: CacheStats,
+}
+
+impl RunStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Total EDC corrections across both caches.
+    pub fn corrected(&self) -> u64 {
+        self.il1.corrected + self.dl1.corrected
+    }
+
+    /// Total detected uncorrectable errors across both caches.
+    pub fn detected(&self) -> u64 {
+        self.il1.detected + self.dl1.detected
+    }
+
+    /// Total silent corruptions across both caches.
+    pub fn silent_corruptions(&self) -> u64 {
+        self.il1.silent_corruptions + self.dl1.silent_corruptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        let r = RunStats::default();
+        assert_eq!(r.cpi(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = CacheStats {
+            accesses: 100,
+            hits: 98,
+            misses: 2,
+            ..Default::default()
+        };
+        assert!((s.miss_ratio() - 0.02).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_sum_both_caches() {
+        let mut r = RunStats::default();
+        r.il1.corrected = 3;
+        r.dl1.corrected = 4;
+        r.il1.silent_corruptions = 1;
+        assert_eq!(r.corrected(), 7);
+        assert_eq!(r.silent_corruptions(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the functional cache: invariants that must
+//! hold for arbitrary access sequences, fault patterns and geometries.
+
+use hyvec_cachesim::cache::{HybridCache, StuckBits, WordSlot};
+use hyvec_cachesim::config::{CacheConfig, Mode, SystemConfig, WaySpec};
+use hyvec_edc::Protection;
+use hyvec_sram::CellKind;
+use proptest::prelude::*;
+
+fn proposal_a_cache(mode: Mode) -> HybridCache {
+    let mut ways = vec![WaySpec::hp_way(1.0, Protection::None); 7];
+    ways.push(WaySpec::ule_way(
+        CellKind::Sram8T,
+        1.75,
+        Protection::None,
+        Protection::Secded,
+    ));
+    HybridCache::new(CacheConfig::l1_8kb(ways), mode)
+}
+
+proptest! {
+    /// A fault-free cache never corrupts, never detects, and its
+    /// hit/miss counters always reconcile.
+    #[test]
+    fn clean_cache_is_always_correct(
+        addrs in prop::collection::vec(0u64..0x40000, 1..400),
+        writes in prop::collection::vec(any::<bool>(), 400),
+    ) {
+        for mode in [Mode::Hp, Mode::Ule] {
+            let mut cache = proposal_a_cache(mode);
+            for (i, &addr) in addrs.iter().enumerate() {
+                let out = cache.access(addr & !3, writes[i % writes.len()]);
+                prop_assert_eq!(out.silent, 0);
+                prop_assert_eq!(out.detected, 0);
+                prop_assert_eq!(out.corrected, 0);
+            }
+            let s = cache.stats();
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            prop_assert_eq!(s.fills, s.misses);
+        }
+    }
+
+    /// Accessing the same address twice in a row always hits the
+    /// second time (no pathological self-eviction).
+    #[test]
+    fn immediate_reaccess_hits(addr in 0u64..0x100000, mode_sel: bool) {
+        let mode = if mode_sel { Mode::Hp } else { Mode::Ule };
+        let mut cache = proposal_a_cache(mode);
+        cache.access(addr, false);
+        prop_assert!(cache.access(addr, false).hit);
+    }
+
+    /// With any single stuck bit in an SECDED-protected ULE-way data
+    /// word, reads either hit-and-correct or miss — but never deliver
+    /// wrong data.
+    #[test]
+    fn single_stuck_bit_never_corrupts_under_secded(
+        set in 0u64..32,
+        slot in 0u64..8,
+        bit in 0u32..39,
+        addrs in prop::collection::vec(0u64..0x8000, 1..200),
+    ) {
+        let mut cache = proposal_a_cache(Mode::Ule);
+        cache.set_stuck_bits(
+            WordSlot { way: 7, set, slot },
+            StuckBits { mask: 1u64 << bit, value: 0 },
+        );
+        for &addr in &addrs {
+            let out = cache.access(addr & !3, false);
+            prop_assert_eq!(out.silent, 0, "addr {:#x}", addr);
+            prop_assert_eq!(out.detected, 0, "single faults are correctable");
+        }
+    }
+
+    /// Working sets of at most 8 lines per set always fit at HP mode
+    /// (8-way associativity): after a warmup pass, everything hits.
+    #[test]
+    fn eight_way_associativity_holds(lines in prop::collection::hash_set(0u64..8u64, 1..=8)) {
+        let mut cache = proposal_a_cache(Mode::Hp);
+        let sets = cache.config().sets();
+        let line_bytes = cache.config().line_bytes;
+        let addrs: Vec<u64> = lines.iter().map(|l| l * sets * line_bytes).collect();
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        for &a in &addrs {
+            prop_assert!(cache.access(a, false).hit, "line {:#x} evicted", a);
+        }
+    }
+
+    /// Mode switches never panic and always leave a consistent cache:
+    /// post-switch accesses are misses (flush) and the enabled-way
+    /// count matches the mode.
+    #[test]
+    fn mode_switching_is_safe(switches in prop::collection::vec(any::<bool>(), 1..20)) {
+        let mut cache = proposal_a_cache(Mode::Hp);
+        cache.access(0x1000, true);
+        for &to_ule in &switches {
+            let mode = if to_ule { Mode::Ule } else { Mode::Hp };
+            cache.set_mode(mode);
+            prop_assert_eq!(cache.enabled_ways(), if to_ule { 1 } else { 8 });
+            prop_assert!(!cache.access(0x1000, false).hit, "flush must invalidate");
+            cache.access(0x1000, true);
+        }
+    }
+
+    /// The uniform-6T config accepts arbitrary interleavings of reads
+    /// and writes without ever reporting EDC activity (it has no EDC).
+    #[test]
+    fn no_edc_no_events(ops in prop::collection::vec((0u64..0x10000, any::<bool>()), 1..300)) {
+        let mut cache = HybridCache::new(SystemConfig::uniform_6t().dl1, Mode::Hp);
+        for &(addr, w) in &ops {
+            let out = cache.access(addr & !3, w);
+            prop_assert_eq!(out.corrected, 0);
+            prop_assert_eq!(out.detected, 0);
+        }
+        prop_assert_eq!(cache.stats().corrected, 0);
+    }
+}

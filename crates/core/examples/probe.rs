@@ -1,0 +1,51 @@
+//! Developer probe: raw per-design-point EPI breakdowns used while
+//! calibrating the technology constants. Not part of the documented
+//! experiment set (see `hyvec-bench` for those).
+
+use hyvec_cachesim::config::Mode;
+use hyvec_cachesim::engine::System;
+use hyvec_core::architecture::{Architecture, DesignPoint, Scenario};
+use hyvec_core::experiments::*;
+use hyvec_mediabench::Benchmark;
+
+fn main() {
+    let p = ExperimentParams {
+        instructions: 30_000,
+        seed: 7,
+    };
+    for s in [Scenario::A, Scenario::B] {
+        for point in [DesignPoint::Baseline, DesignPoint::Proposal] {
+            let arch = Architecture::build(s, point).unwrap();
+            println!(
+                "--- {s}/{point}: {} (6T s={:.2} 10T s={:.2} 8T s={:.2} pf8={:.2e})",
+                arch.composition(),
+                arch.design.sizing_6t,
+                arch.design.sizing_10t,
+                arch.design.sizing_8t,
+                arch.design.pf_8t
+            );
+            let mut sys = System::new(arch.config.clone());
+            let hp = sys.run(Benchmark::GsmC.trace(p.instructions, p.seed), Mode::Hp);
+            let ule = sys.run(Benchmark::AdpcmC.trace(p.instructions, p.seed), Mode::Ule);
+            let n = p.instructions as f64;
+            println!(
+                "  HP : dyn={:.3} leak={:.3} edc={:.4} other={:.3} EPI={:.3} CPI={:.3}",
+                hp.energy.l1_dynamic_pj / n,
+                hp.energy.l1_leakage_pj / n,
+                hp.energy.edc_pj / n,
+                hp.energy.other_pj / n,
+                hp.epi_pj(),
+                hp.stats.cpi()
+            );
+            println!(
+                "  ULE: dyn={:.4} leak={:.4} edc={:.4} other={:.4} EPI={:.4} CPI={:.3}",
+                ule.energy.l1_dynamic_pj / n,
+                ule.energy.l1_leakage_pj / n,
+                ule.energy.edc_pj / n,
+                ule.energy.other_pj / n,
+                ule.epi_pj(),
+                ule.stats.cpi()
+            );
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Scenario and design-point definitions, and the mapping from the
+//! methodology outputs to a simulatable system configuration.
+
+use crate::methodology::{design_ule_way, MethodologyInputs, UleWayDesign};
+use hyvec_cachesim::config::{SystemConfig, WaySpec};
+use hyvec_edc::Protection;
+use hyvec_sram::cell::CellKind;
+use hyvec_sram::failure::{FailureModel, SizingError};
+use std::fmt;
+
+/// The paper's two evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Baseline has no coding: `6T+10T` vs `6T+8T+SECDED`.
+    A,
+    /// Baseline is SECDED-protected everywhere:
+    /// `6T+SECDED+10T+SECDED` vs `6T+SECDED+8T+DECTED`.
+    B,
+}
+
+impl Scenario {
+    /// Both scenarios.
+    pub const ALL: [Scenario; 2] = [Scenario::A, Scenario::B];
+
+    /// Protection of the HP (6T) ways in this scenario.
+    pub fn hp_way_protection(self) -> Protection {
+        match self {
+            Scenario::A => Protection::None,
+            Scenario::B => Protection::Secded,
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::A => f.write_str("A"),
+            Scenario::B => f.write_str("B"),
+        }
+    }
+}
+
+/// Baseline (prior-art 10T ULE ways) or the paper's proposal (8T+EDC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPoint {
+    /// The Maric et al. CF'11 hybrid design with 10T ULE ways.
+    Baseline,
+    /// The proposed 8T+EDC ULE ways.
+    Proposal,
+}
+
+impl DesignPoint {
+    /// Both design points.
+    pub const ALL: [DesignPoint; 2] = [DesignPoint::Baseline, DesignPoint::Proposal];
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignPoint::Baseline => f.write_str("baseline"),
+            DesignPoint::Proposal => f.write_str("proposal"),
+        }
+    }
+}
+
+/// A fully sized, simulatable cache architecture.
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    /// The scenario this architecture belongs to.
+    pub scenario: Scenario,
+    /// Baseline or proposal.
+    pub point: DesignPoint,
+    /// The sizing-methodology outputs used.
+    pub design: UleWayDesign,
+    /// The simulator configuration (IL1 + DL1, 7+1 ways, 20-cycle
+    /// memory).
+    pub config: SystemConfig,
+}
+
+impl Architecture {
+    /// Builds the architecture for `(scenario, point)` with default
+    /// models and the paper's geometry (8KB, 8-way, 7+1, 32B lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SizingError`] if the methodology cannot size the
+    /// cells (impossible with the default inputs).
+    pub fn build(scenario: Scenario, point: DesignPoint) -> Result<Self, SizingError> {
+        Architecture::build_with(
+            scenario,
+            point,
+            &FailureModel::default(),
+            &MethodologyInputs::default(),
+            7,
+            1,
+            20,
+        )
+    }
+
+    /// Builds with explicit models, way split (`hp_ways` + `ule_ways`)
+    /// and memory latency — used by the ablation experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SizingError`] if the methodology cannot size the
+    /// cells at the requested voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hp_ways + ule_ways == 0` or `ule_ways == 0`.
+    pub fn build_with(
+        scenario: Scenario,
+        point: DesignPoint,
+        model: &FailureModel,
+        inputs: &MethodologyInputs,
+        hp_ways: usize,
+        ule_ways: usize,
+        memory_latency: u32,
+    ) -> Result<Self, SizingError> {
+        assert!(ule_ways > 0, "hybrid operation requires ULE ways");
+        // Way counts change the per-way word counts: recompute the
+        // methodology over the actual ULE-way geometry.
+        let total_ways = hp_ways + ule_ways;
+        let sets = 8 * 1024 / 32 / total_ways as u64;
+        let line_words = 32 * 8 / 32;
+        let inputs = MethodologyInputs {
+            data_words: sets * line_words,
+            tag_words: sets,
+            ..*inputs
+        };
+        let design = design_ule_way(scenario, model, &inputs)?;
+
+        let hp_prot = scenario.hp_way_protection();
+        let mut ways = vec![WaySpec::hp_way(design.sizing_6t, hp_prot); hp_ways];
+        for _ in 0..ule_ways {
+            ways.push(match (scenario, point) {
+                (Scenario::A, DesignPoint::Baseline) => WaySpec::ule_way(
+                    CellKind::Sram10T,
+                    design.sizing_10t,
+                    Protection::None,
+                    Protection::None,
+                ),
+                (Scenario::A, DesignPoint::Proposal) => WaySpec::ule_way(
+                    CellKind::Sram8T,
+                    design.sizing_8t,
+                    Protection::None,
+                    Protection::Secded,
+                ),
+                (Scenario::B, DesignPoint::Baseline) => WaySpec::ule_way(
+                    CellKind::Sram10T,
+                    design.sizing_10t,
+                    Protection::Secded,
+                    Protection::Secded,
+                ),
+                (Scenario::B, DesignPoint::Proposal) => WaySpec::ule_way(
+                    CellKind::Sram8T,
+                    design.sizing_8t,
+                    Protection::Secded,
+                    Protection::Dected,
+                ),
+            });
+        }
+
+        let mut config = SystemConfig::with_ways(ways, memory_latency);
+        // Keep the total cache size at 8KB regardless of way split.
+        config.il1.size_bytes = 8 * 1024;
+        config.dl1.size_bytes = 8 * 1024;
+        // The uncore's always-on 10T arrays share the ULE-way sizing
+        // in baseline and proposal alike.
+        config.uncore_ten_t_sizing = design.sizing_10t;
+        config.il1.validate();
+        config.dl1.validate();
+
+        Ok(Architecture {
+            scenario,
+            point,
+            design,
+            config,
+        })
+    }
+
+    /// Human-readable composition string, e.g. `"6T+8T+SECDED"`.
+    pub fn composition(&self) -> String {
+        let hp = match self.scenario.hp_way_protection() {
+            Protection::None => "6T".to_string(),
+            p => format!("6T+{p}"),
+        };
+        let ule_way = self
+            .config
+            .il1
+            .ways
+            .iter()
+            .find(|w| w.ule_enabled)
+            .expect("ULE way exists");
+        let cell = ule_way.cell.kind().short_name();
+        let ule = match ule_way.protection_ule {
+            Protection::None => cell.to_string(),
+            p => format!("{cell}+{p}"),
+        };
+        format!("{hp} + {ule}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyvec_cachesim::config::Mode;
+
+    #[test]
+    fn all_four_architectures_build() {
+        for s in Scenario::ALL {
+            for p in DesignPoint::ALL {
+                let arch = Architecture::build(s, p).expect("build");
+                arch.config.il1.validate();
+                assert_eq!(arch.config.il1.ways.len(), 8);
+                assert_eq!(arch.config.il1.sets(), 32);
+                let ule_ways = arch
+                    .config
+                    .il1
+                    .ways
+                    .iter()
+                    .filter(|w| w.ule_enabled)
+                    .count();
+                assert_eq!(ule_ways, 1, "{s}/{p}: 7+1 split");
+            }
+        }
+    }
+
+    #[test]
+    fn compositions_match_paper_nomenclature() {
+        let name = |s, p| Architecture::build(s, p).unwrap().composition();
+        assert_eq!(name(Scenario::A, DesignPoint::Baseline), "6T + 10T");
+        assert_eq!(name(Scenario::A, DesignPoint::Proposal), "6T + 8T+SECDED");
+        assert_eq!(
+            name(Scenario::B, DesignPoint::Baseline),
+            "6T+SECDED + 10T+SECDED"
+        );
+        assert_eq!(
+            name(Scenario::B, DesignPoint::Proposal),
+            "6T+SECDED + 8T+DECTED"
+        );
+    }
+
+    #[test]
+    fn proposal_ule_way_uses_8t_with_stronger_code_at_ule() {
+        let arch = Architecture::build(Scenario::B, DesignPoint::Proposal).unwrap();
+        let ule = arch.config.il1.ways.iter().find(|w| w.ule_enabled).unwrap();
+        assert_eq!(ule.cell.kind(), CellKind::Sram8T);
+        assert_eq!(ule.protection(Mode::Hp), Protection::Secded);
+        assert_eq!(ule.protection(Mode::Ule), Protection::Dected);
+        assert_eq!(ule.stored_check_bits(), 13);
+    }
+
+    #[test]
+    fn six_plus_two_variant_builds() {
+        let arch = Architecture::build_with(
+            Scenario::A,
+            DesignPoint::Proposal,
+            &FailureModel::default(),
+            &MethodologyInputs::default(),
+            6,
+            2,
+            20,
+        )
+        .unwrap();
+        assert_eq!(arch.config.il1.ways.len(), 8);
+        assert_eq!(
+            arch.config
+                .il1
+                .ways
+                .iter()
+                .filter(|w| w.ule_enabled)
+                .count(),
+            2
+        );
+        arch.config.il1.validate();
+    }
+
+    #[test]
+    fn scenario_display() {
+        assert_eq!(Scenario::A.to_string(), "A");
+        assert_eq!(DesignPoint::Proposal.to_string(), "proposal");
+    }
+}

@@ -1,0 +1,867 @@
+//! Regeneration of every figure and table in the paper's evaluation
+//! (Sec. IV), plus the ablations called out in `DESIGN.md`.
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`fig3_hp_epi`] | Fig. 3 — normalized average EPI at HP mode |
+//! | [`fig4_ule_epi`] | Fig. 4 — normalized EPI breakdowns at ULE mode |
+//! | [`methodology_table`] | Sec. III-C — sizing/yield methodology |
+//! | [`ule_performance`] | Sec. IV-B.2 — execution-time overhead |
+//! | [`area_comparison`] | Sec. I/V — area claims |
+//! | [`reliability`] | "same reliability levels" claim |
+//! | [`ablation_ways`] | 7+1 vs 6+2 (Sec. IV-A) |
+//! | [`ablation_memory_latency`] | memory-latency insensitivity (Sec. IV-A) |
+//! | [`ablation_granularity`] | word-granularity protection choice |
+
+use crate::architecture::{Architecture, DesignPoint, Scenario};
+use crate::methodology::{design_ule_way, MethodologyInputs, UleWayDesign};
+use hyvec_cachesim::config::Mode;
+use hyvec_cachesim::engine::System;
+use hyvec_cachesim::faults::sample_faults;
+use hyvec_cachesim::power::{EnergyBreakdown, PowerModel};
+use hyvec_edc::Protection;
+use hyvec_mediabench::Benchmark;
+use hyvec_sram::cell::{CellKind, SizedCell};
+use hyvec_sram::failure::FailureModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Shared run parameters for the simulated experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// Instructions simulated per benchmark.
+    pub instructions: u64,
+    /// Trace seed (same seed for baseline and proposal, so the input
+    /// is identical across design points).
+    pub seed: u64,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            instructions: 100_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs `benchmarks` on `arch` at `mode`, returning the summed energy
+/// breakdown, instructions and cycles.
+fn run_suite(
+    arch: &Architecture,
+    benchmarks: &[Benchmark],
+    mode: Mode,
+    params: ExperimentParams,
+) -> (EnergyBreakdown, u64, u64, Vec<(Benchmark, f64, u64)>) {
+    let mut system = System::new(arch.config.clone());
+    let mut total = EnergyBreakdown::default();
+    let mut instructions = 0;
+    let mut cycles = 0;
+    let mut per_bench = Vec::new();
+    for &b in benchmarks {
+        let report = system.run(b.trace(params.instructions, params.seed), mode);
+        total.l1_dynamic_pj += report.energy.l1_dynamic_pj;
+        total.l1_leakage_pj += report.energy.l1_leakage_pj;
+        total.edc_pj += report.energy.edc_pj;
+        total.other_pj += report.energy.other_pj;
+        instructions += report.stats.instructions;
+        cycles += report.stats.cycles;
+        per_bench.push((b, report.epi_pj(), report.stats.cycles));
+    }
+    (total, instructions, cycles, per_bench)
+}
+
+// ---------------------------------------------------------------------
+// E1: Figure 3 — HP mode EPI
+// ---------------------------------------------------------------------
+
+/// One scenario's Figure 3 data: average EPI at HP mode, normalized to
+/// the baseline total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Result {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Baseline breakdown, normalized so its total is 1.0.
+    pub baseline: EnergyBreakdown,
+    /// Proposal breakdown, normalized to the baseline total.
+    pub proposal: EnergyBreakdown,
+    /// Average EPI saving (paper: ~14% for A, ~12% for B).
+    pub saving: f64,
+    /// Per-benchmark normalized proposal EPI (paper: "all benchmarks
+    /// show minor differences to the average").
+    pub per_benchmark: Vec<(Benchmark, f64)>,
+}
+
+/// Regenerates Figure 3 for `scenario` (BigBench at HP mode).
+pub fn fig3_hp_epi(scenario: Scenario, params: ExperimentParams) -> Fig3Result {
+    let baseline = Architecture::build(scenario, DesignPoint::Baseline).expect("baseline");
+    let proposal = Architecture::build(scenario, DesignPoint::Proposal).expect("proposal");
+    let (be, bi, _, bb) = run_suite(&baseline, &Benchmark::BIG, Mode::Hp, params);
+    let (pe, pi, _, pb) = run_suite(&proposal, &Benchmark::BIG, Mode::Hp, params);
+    let base_epi = be.epi_pj(bi);
+    let prop_epi = pe.epi_pj(pi);
+    let per_benchmark = bb
+        .iter()
+        .zip(&pb)
+        .map(|((b, base, _), (_, prop, _))| (*b, prop / base))
+        .collect();
+    Fig3Result {
+        scenario,
+        baseline: be.scaled(1.0 / (base_epi * bi as f64)),
+        proposal: pe.scaled(1.0 / (base_epi * pi as f64)),
+        saving: 1.0 - prop_epi / base_epi,
+        per_benchmark,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2: Figure 4 — ULE mode EPI breakdowns
+// ---------------------------------------------------------------------
+
+/// One benchmark row of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Baseline breakdown normalized to total 1.0.
+    pub baseline: EnergyBreakdown,
+    /// Proposal breakdown normalized to the baseline total.
+    pub proposal: EnergyBreakdown,
+    /// EPI saving for this benchmark.
+    pub saving: f64,
+}
+
+/// One scenario's Figure 4 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Per-benchmark rows (SmallBench).
+    pub rows: Vec<Fig4Row>,
+    /// Average saving (paper: ~42% for A, ~39% for B).
+    pub avg_saving: f64,
+}
+
+/// Regenerates Figure 4 for `scenario` (SmallBench at ULE mode).
+pub fn fig4_ule_epi(scenario: Scenario, params: ExperimentParams) -> Fig4Result {
+    let baseline = Architecture::build(scenario, DesignPoint::Baseline).expect("baseline");
+    let proposal = Architecture::build(scenario, DesignPoint::Proposal).expect("proposal");
+    let mut base_sys = System::new(baseline.config.clone());
+    let mut prop_sys = System::new(proposal.config.clone());
+    let mut rows = Vec::new();
+    let mut savings = 0.0;
+    for b in Benchmark::SMALL {
+        let br = base_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+        let pr = prop_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+        let base_total = br.energy.total_pj();
+        let saving = 1.0 - pr.energy.total_pj() / base_total;
+        savings += saving;
+        rows.push(Fig4Row {
+            benchmark: b,
+            baseline: br.energy.scaled(1.0 / base_total),
+            proposal: pr.energy.scaled(1.0 / base_total),
+            saving,
+        });
+    }
+    Fig4Result {
+        scenario,
+        avg_saving: savings / rows.len() as f64,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3: methodology table
+// ---------------------------------------------------------------------
+
+/// The sizing/yield table of Sec. III-C for both scenarios.
+pub fn methodology_table() -> Vec<UleWayDesign> {
+    Scenario::ALL
+        .iter()
+        .map(|&s| {
+            design_ule_way(s, &FailureModel::default(), &MethodologyInputs::default())
+                .expect("default methodology converges")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E4: ULE execution-time overhead
+// ---------------------------------------------------------------------
+
+/// Execution-time overhead of the proposal at ULE mode for one
+/// benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// Proposal cycles.
+    pub proposal_cycles: u64,
+    /// Relative execution-time increase (paper: up to ~3%).
+    pub overhead: f64,
+}
+
+/// Measures the ULE-mode execution-time overhead of the proposal
+/// (SmallBench).
+pub fn ule_performance(scenario: Scenario, params: ExperimentParams) -> Vec<PerfRow> {
+    let baseline = Architecture::build(scenario, DesignPoint::Baseline).expect("baseline");
+    let proposal = Architecture::build(scenario, DesignPoint::Proposal).expect("proposal");
+    let mut base_sys = System::new(baseline.config.clone());
+    let mut prop_sys = System::new(proposal.config.clone());
+    Benchmark::SMALL
+        .iter()
+        .map(|&b| {
+            let br = base_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+            let pr = prop_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+            PerfRow {
+                benchmark: b,
+                baseline_cycles: br.stats.cycles,
+                proposal_cycles: pr.stats.cycles,
+                overhead: pr.stats.cycles as f64 / br.stats.cycles as f64 - 1.0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E5: area comparison
+// ---------------------------------------------------------------------
+
+/// Area comparison between baseline and proposal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Baseline L1 area (IL1 + DL1), µm².
+    pub baseline_um2: f64,
+    /// Proposal L1 area, µm².
+    pub proposal_um2: f64,
+    /// Relative area saving.
+    pub saving: f64,
+    /// Area of the ULE way alone, baseline vs proposal, µm² (where
+    /// the replacement actually happens).
+    pub ule_way_baseline_um2: f64,
+    /// Proposal ULE way area (including check-bit columns and EDC
+    /// logic), µm².
+    pub ule_way_proposal_um2: f64,
+}
+
+/// Computes the L1 area comparison for `scenario`.
+pub fn area_comparison(scenario: Scenario) -> AreaResult {
+    let baseline = Architecture::build(scenario, DesignPoint::Baseline).expect("baseline");
+    let proposal = Architecture::build(scenario, DesignPoint::Proposal).expect("proposal");
+    let b_pm = PowerModel::new(&baseline.config);
+    let p_pm = PowerModel::new(&proposal.config);
+    let b_area = b_pm.il1.area_um2() + b_pm.dl1.area_um2();
+    let p_area = p_pm.il1.area_um2() + p_pm.dl1.area_um2();
+
+    // ULE-way-only areas, from the sized cells and word geometry
+    // (256 data words of 32 bits + 32 tags of 26 bits, plus the
+    // stored check bits).
+    let dsg = &baseline.design;
+    let bits_with_checks = |check: u64| 256 * (32 + check) + 32 * (26 + check);
+    let base_check = match scenario {
+        Scenario::A => 0u64,
+        Scenario::B => 7,
+    };
+    let prop_check = match scenario {
+        Scenario::A => 7u64,
+        Scenario::B => 13,
+    };
+    let cell10 = SizedCell::new(CellKind::Sram10T, dsg.sizing_10t);
+    let cell8 = SizedCell::new(CellKind::Sram8T, dsg.sizing_8t);
+    let ule_base = bits_with_checks(base_check) as f64 * cell10.area_um2();
+    let ule_prop = bits_with_checks(prop_check) as f64 * cell8.area_um2();
+
+    AreaResult {
+        scenario,
+        baseline_um2: b_area,
+        proposal_um2: p_area,
+        saving: 1.0 - p_area / b_area,
+        ule_way_baseline_um2: ule_base,
+        ule_way_proposal_um2: ule_prop,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6: reliability equivalence
+// ---------------------------------------------------------------------
+
+/// Reliability comparison: analytic yields, Monte-Carlo yields over
+/// sampled fault maps, and functional fault-injection runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Analytic baseline yield (Eq. (2)).
+    pub analytic_baseline: f64,
+    /// Analytic proposal yield.
+    pub analytic_proposal: f64,
+    /// Monte-Carlo proposal yield over sampled dies (fraction of dies
+    /// where every ULE-way word stays within the EDC budget).
+    pub mc_proposal: f64,
+    /// Dies sampled.
+    pub dies: u32,
+    /// Silent corruptions observed running SmallBench on a *faulty*
+    /// proposal die (must be 0 — EDC corrects them).
+    pub proposal_silent: u64,
+    /// EDC corrections observed in that run (should be > 0 when
+    /// faults landed in live words).
+    pub proposal_corrected: u64,
+    /// Silent corruptions observed on a strawman die with the same
+    /// faulty 8T cells but *no* EDC (must be > 0: this is what the
+    /// paper's methodology prevents).
+    pub strawman_silent: u64,
+}
+
+/// Runs the reliability experiment for `scenario`.
+pub fn reliability(scenario: Scenario, dies: u32, params: ExperimentParams) -> ReliabilityResult {
+    let design = design_ule_way(
+        scenario,
+        &FailureModel::default(),
+        &MethodologyInputs::default(),
+    )
+    .expect("methodology");
+    let inputs = MethodologyInputs::default();
+
+    // Analytic yields (as in the methodology).
+    let analytic_baseline = design.yield_baseline;
+    let analytic_proposal = design.yield_proposal;
+
+    // Monte-Carlo: sample fault maps of the proposal ULE way and
+    // check the per-word fault budget.
+    let prot = match scenario {
+        Scenario::A => Protection::Secded,
+        Scenario::B => Protection::Dected,
+    };
+    let k = prot.check_bits() as u32;
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xFA17_5EED);
+    let mut good = 0u32;
+    for _ in 0..dies {
+        let mut die_ok = true;
+        // Data words then tag words, Bernoulli per bit.
+        for _ in 0..inputs.data_words {
+            if sample_word_faults(&mut rng, inputs.word_bits + k, design.pf_8t) > 1 {
+                die_ok = false;
+                break;
+            }
+        }
+        if die_ok {
+            for _ in 0..inputs.tag_words {
+                if sample_word_faults(&mut rng, inputs.tag_bits + k, design.pf_8t) > 1 {
+                    die_ok = false;
+                    break;
+                }
+            }
+        }
+        if die_ok {
+            good += 1;
+        }
+    }
+
+    // Functional: run a faulty proposal die and a no-EDC strawman.
+    // The design failure rate may yield only a couple of faulty bits
+    // per die; use a demonstration rate high enough that several
+    // faults land in live words while staying within the one-per-word
+    // budget with high probability.
+    let pf_demo = design.pf_8t.max(1.5e-3);
+    let proposal = Architecture::build(scenario, DesignPoint::Proposal).expect("proposal");
+    let mut pf = vec![0.0f64; proposal.config.dl1.ways.len()];
+    if let Some(ule_idx) = proposal.config.dl1.ways.iter().position(|w| w.ule_enabled) {
+        pf[ule_idx] = pf_demo;
+    }
+    let mut prop_sys = System::new(proposal.config.clone());
+    let mut rng2 = SmallRng::seed_from_u64(params.seed ^ 0xD1E5_A171);
+    sample_faults(prop_sys.dl1_mut(), &pf, &mut rng2);
+    sample_faults(prop_sys.il1_mut(), &pf, &mut rng2);
+    let mut proposal_silent = 0;
+    let mut proposal_corrected = 0;
+    for b in Benchmark::SMALL {
+        let r = prop_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+        proposal_silent += r.stats.silent_corruptions();
+        proposal_corrected += r.stats.corrected();
+    }
+
+    // Strawman: identical 8T sizing and fault rate, but no EDC.
+    let mut strawman_cfg = proposal.config.clone();
+    for way in strawman_cfg
+        .il1
+        .ways
+        .iter_mut()
+        .chain(strawman_cfg.dl1.ways.iter_mut())
+    {
+        way.protection_hp = Protection::None;
+        way.protection_ule = Protection::None;
+    }
+    let mut straw_sys = System::new(strawman_cfg);
+    let mut rng3 = SmallRng::seed_from_u64(params.seed ^ 0xD1E5_A171);
+    sample_faults(straw_sys.dl1_mut(), &pf, &mut rng3);
+    sample_faults(straw_sys.il1_mut(), &pf, &mut rng3);
+    let mut strawman_silent = 0;
+    for b in Benchmark::SMALL {
+        let r = straw_sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+        strawman_silent += r.stats.silent_corruptions();
+    }
+
+    ReliabilityResult {
+        scenario,
+        analytic_baseline,
+        analytic_proposal,
+        mc_proposal: f64::from(good) / f64::from(dies),
+        dies,
+        proposal_silent,
+        proposal_corrected,
+        strawman_silent,
+    }
+}
+
+// ---------------------------------------------------------------------
+// A4: ULE-voltage sweep (DVS study)
+// ---------------------------------------------------------------------
+
+/// Proposal-vs-baseline comparison at one ULE voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageRow {
+    /// ULE supply voltage, volts.
+    pub ule_vdd: f64,
+    /// 10T sizing at this voltage.
+    pub sizing_10t: f64,
+    /// 8T sizing at this voltage.
+    pub sizing_8t: f64,
+    /// ULE-mode EPI saving of the proposal.
+    pub ule_saving: f64,
+}
+
+/// Sweeps the ULE supply voltage, re-running the sizing methodology
+/// and the ULE evaluation at each point. Frequency is scaled with the
+/// cell-delay model so each point stays timing-feasible.
+///
+/// The paper fixes 350mV ("our architecture is not limited to any
+/// particular Vcc level"); this sweep substantiates that sentence.
+pub fn ablation_voltage(scenario: Scenario, params: ExperimentParams) -> Vec<VoltageRow> {
+    use hyvec_cachemodel::OperatingPoint;
+    [0.32f64, 0.35, 0.40, 0.45]
+        .iter()
+        .filter_map(|&vdd| {
+            let inputs = MethodologyInputs {
+                ule_vdd: vdd,
+                ..MethodologyInputs::default()
+            };
+            let model = FailureModel::default();
+            let build =
+                |point| Architecture::build_with(scenario, point, &model, &inputs, 7, 1, 20).ok();
+            let baseline = build(DesignPoint::Baseline)?;
+            let proposal = build(DesignPoint::Proposal)?;
+            // Keep 5MHz at 350mV and scale roughly with the voltage
+            // headroom (a simple DVS curve).
+            let freq = 5.0e6 * (vdd / 0.35).powi(3);
+            let op = OperatingPoint::new(vdd, freq);
+            let mut base_sys = System::new(baseline.config.clone());
+            let mut prop_sys = System::new(proposal.config.clone());
+            let mut base_e = 0.0;
+            let mut prop_e = 0.0;
+            for b in Benchmark::SMALL {
+                base_e += base_sys
+                    .run_at(b.trace(params.instructions, params.seed), Mode::Ule, op)
+                    .energy
+                    .total_pj();
+                prop_e += prop_sys
+                    .run_at(b.trace(params.instructions, params.seed), Mode::Ule, op)
+                    .energy
+                    .total_pj();
+            }
+            Some(VoltageRow {
+                ule_vdd: vdd,
+                sizing_10t: baseline.design.sizing_10t,
+                sizing_8t: proposal.design.sizing_8t,
+                ule_saving: 1.0 - prop_e / base_e,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E7: soft errors on top of hard faults (why scenario B needs DECTED)
+// ---------------------------------------------------------------------
+
+/// Outcome of the combined hard-fault + soft-error experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftErrorResult {
+    /// Corrections by the SECDED design (baseline-B-style protection
+    /// on the same faulty 8T cells).
+    pub secded_corrected: u64,
+    /// Detected-but-uncorrectable events under SECDED (hard fault +
+    /// soft error in one word: reliability lost).
+    pub secded_detected: u64,
+    /// Corrections by the DECTED proposal.
+    pub dected_corrected: u64,
+    /// Detected-but-uncorrectable events under DECTED (should stay 0
+    /// at the design fault rate).
+    pub dected_detected: u64,
+    /// Silent corruptions under either design (must be 0: both codes
+    /// at least detect).
+    pub silent: u64,
+}
+
+/// Demonstrates the scenario-B argument functionally: with hard faults
+/// at the design rate *and* accelerated soft errors, SECDED-protected
+/// words containing a hard fault degrade to detection-only, while
+/// DECTED keeps correcting. Both remain silent-corruption-free.
+pub fn soft_error_study(params: ExperimentParams, seu_rate: f64) -> SoftErrorResult {
+    let proposal = Architecture::build(Scenario::B, DesignPoint::Proposal).expect("proposal");
+    let design = proposal.design;
+
+    let run = |prot: Protection| {
+        let mut cfg = proposal.config.clone();
+        for way in cfg.il1.ways.iter_mut().chain(cfg.dl1.ways.iter_mut()) {
+            if way.ule_enabled {
+                way.protection_ule = prot;
+            }
+        }
+        let mut sys = System::new(cfg.clone());
+        // Hard faults at a rate that guarantees several faulty bits.
+        let mut pf = vec![0.0f64; cfg.dl1.ways.len()];
+        if let Some(i) = cfg.dl1.ways.iter().position(|w| w.ule_enabled) {
+            pf[i] = design.pf_8t.max(2e-3);
+        }
+        let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x050F_7E44);
+        sample_faults(sys.dl1_mut(), &pf, &mut rng);
+        sample_faults(sys.il1_mut(), &pf, &mut rng);
+        sys.set_soft_error_rate(seu_rate, params.seed ^ 0xABCD);
+        let mut corrected = 0;
+        let mut detected = 0;
+        let mut silent = 0;
+        for b in Benchmark::SMALL {
+            let r = sys.run(b.trace(params.instructions, params.seed), Mode::Ule);
+            corrected += r.stats.corrected();
+            detected += r.stats.detected();
+            silent += r.stats.silent_corruptions();
+        }
+        (corrected, detected, silent)
+    };
+
+    let (secded_corrected, secded_detected, s1) = run(Protection::Secded);
+    let (dected_corrected, dected_detected, s2) = run(Protection::Dected);
+    SoftErrorResult {
+        secded_corrected,
+        secded_detected,
+        dected_corrected,
+        dected_detected,
+        silent: s1 + s2,
+    }
+}
+
+fn sample_word_faults<R: rand::Rng>(rng: &mut R, bits: u32, pf: f64) -> u32 {
+    let mut n = 0;
+    for _ in 0..bits {
+        if rng.gen::<f64>() < pf {
+            n += 1;
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------------
+// A1: way-split ablation (7+1 vs 6+2)
+// ---------------------------------------------------------------------
+
+/// Savings of the proposal for one way split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaySplitRow {
+    /// HP (6T) ways.
+    pub hp_ways: usize,
+    /// ULE ways.
+    pub ule_ways: usize,
+    /// HP-mode EPI saving.
+    pub hp_saving: f64,
+    /// ULE-mode EPI saving.
+    pub ule_saving: f64,
+}
+
+/// Compares 7+1 against 6+2 (paper: "did not provide further
+/// insights").
+pub fn ablation_ways(scenario: Scenario, params: ExperimentParams) -> Vec<WaySplitRow> {
+    [(7usize, 1usize), (6, 2)]
+        .iter()
+        .map(|&(hp, ule)| {
+            let build = |point| {
+                Architecture::build_with(
+                    scenario,
+                    point,
+                    &FailureModel::default(),
+                    &MethodologyInputs::default(),
+                    hp,
+                    ule,
+                    20,
+                )
+                .expect("ablation arch")
+            };
+            let baseline = build(DesignPoint::Baseline);
+            let proposal = build(DesignPoint::Proposal);
+            let (be, bi, _, _) = run_suite(&baseline, &Benchmark::BIG, Mode::Hp, params);
+            let (pe, pi, _, _) = run_suite(&proposal, &Benchmark::BIG, Mode::Hp, params);
+            let hp_saving = 1.0 - pe.epi_pj(pi) / be.epi_pj(bi);
+            let (be, bi, _, _) = run_suite(&baseline, &Benchmark::SMALL, Mode::Ule, params);
+            let (pe, pi, _, _) = run_suite(&proposal, &Benchmark::SMALL, Mode::Ule, params);
+            let ule_saving = 1.0 - pe.epi_pj(pi) / be.epi_pj(bi);
+            WaySplitRow {
+                hp_ways: hp,
+                ule_ways: ule,
+                hp_saving,
+                ule_saving,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// A2: memory-latency ablation
+// ---------------------------------------------------------------------
+
+/// Savings of the proposal for one memory latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemLatRow {
+    /// Memory latency in cycles.
+    pub latency: u32,
+    /// HP-mode EPI saving.
+    pub hp_saving: f64,
+}
+
+/// Sweeps the memory latency (paper: "other memory latencies do not
+/// change the trends").
+pub fn ablation_memory_latency(scenario: Scenario, params: ExperimentParams) -> Vec<MemLatRow> {
+    [10u32, 20, 40, 80]
+        .iter()
+        .map(|&lat| {
+            let build = |point| {
+                Architecture::build_with(
+                    scenario,
+                    point,
+                    &FailureModel::default(),
+                    &MethodologyInputs::default(),
+                    7,
+                    1,
+                    lat,
+                )
+                .expect("ablation arch")
+            };
+            let (be, bi, _, _) = run_suite(
+                &build(DesignPoint::Baseline),
+                &Benchmark::BIG,
+                Mode::Hp,
+                params,
+            );
+            let (pe, pi, _, _) = run_suite(
+                &build(DesignPoint::Proposal),
+                &Benchmark::BIG,
+                Mode::Hp,
+                params,
+            );
+            MemLatRow {
+                latency: lat,
+                hp_saving: 1.0 - pe.epi_pj(pi) / be.epi_pj(bi),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// A3: protection-granularity ablation
+// ---------------------------------------------------------------------
+
+/// Yield/overhead consequences of protecting at a different word
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityRow {
+    /// Protected word width, bits.
+    pub word_bits: u32,
+    /// Check-bit storage overhead (check bits / data bits).
+    pub storage_overhead: f64,
+    /// 8T sizing required to match the baseline yield at this
+    /// granularity.
+    pub sizing_8t: f64,
+    /// Relative ULE-way bit count (data + check bits, normalized to
+    /// the 32-bit-word design).
+    pub relative_bits: f64,
+}
+
+/// Analyzes SECDED protection at 8/16/32-bit word granularity for
+/// scenario A. Finer words tolerate more total faults (higher
+/// correctable density) but pay more check-bit overhead.
+pub fn ablation_granularity() -> Vec<GranularityRow> {
+    let model = FailureModel::default();
+    let base_inputs = MethodologyInputs::default();
+    let reference_bits = 256.0 * 39.0 + 32.0 * 33.0;
+    [8u32, 16, 32]
+        .iter()
+        .map(|&wb| {
+            let words = 256 * 32 / u64::from(wb);
+            let inputs = MethodologyInputs {
+                word_bits: wb,
+                data_words: words,
+                ..base_inputs
+            };
+            let design =
+                design_ule_way(Scenario::A, &model, &inputs).expect("granularity methodology");
+            let total_bits =
+                (words * u64::from(wb + 7)) as f64 + (32.0 * f64::from(inputs.tag_bits + 7));
+            GranularityRow {
+                word_bits: wb,
+                storage_overhead: 7.0 / f64::from(wb),
+                sizing_8t: design.sizing_8t,
+                relative_bits: total_bits / reference_bits,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentParams {
+        ExperimentParams {
+            instructions: 20_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig3_proposal_saves_energy_at_hp() {
+        for s in Scenario::ALL {
+            let r = fig3_hp_epi(s, quick());
+            assert!(
+                r.saving > 0.05 && r.saving < 0.30,
+                "scenario {s}: HP saving {} out of band",
+                r.saving
+            );
+            // Normalized baseline sums to 1.
+            assert!((r.baseline.total_pj() - 1.0).abs() < 1e-9);
+            assert!((r.proposal.total_pj() - (1.0 - r.saving)).abs() < 1e-6);
+            // Benchmarks differ only mildly from the average.
+            for (b, ratio) in &r.per_benchmark {
+                assert!(
+                    (ratio - (1.0 - r.saving)).abs() < 0.08,
+                    "{s}/{b}: per-benchmark ratio {ratio} far from avg"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_proposal_saves_big_at_ule() {
+        for s in Scenario::ALL {
+            let r = fig4_ule_epi(s, quick());
+            assert!(
+                r.avg_saving > 0.25 && r.avg_saving < 0.60,
+                "scenario {s}: ULE saving {} out of band",
+                r.avg_saving
+            );
+            assert_eq!(r.rows.len(), 4);
+            for row in &r.rows {
+                assert!((row.baseline.total_pj() - 1.0).abs() < 1e-9);
+                assert!(row.saving > 0.15, "{s}/{}: {}", row.benchmark, row.saving);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_a_saves_more_than_b_at_hp() {
+        // Paper: 14% (A) vs 12% (B) — B's DECTED check bits dilute the
+        // benefit.
+        let a = fig3_hp_epi(Scenario::A, quick());
+        let b = fig3_hp_epi(Scenario::B, quick());
+        assert!(
+            a.saving > b.saving,
+            "A {} should beat B {}",
+            a.saving,
+            b.saving
+        );
+    }
+
+    #[test]
+    fn performance_overhead_is_small() {
+        for s in Scenario::ALL {
+            for row in ule_performance(s, quick()) {
+                assert!(
+                    row.overhead >= 0.0 && row.overhead < 0.08,
+                    "{s}/{}: overhead {}",
+                    row.benchmark,
+                    row.overhead
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_improves() {
+        for s in Scenario::ALL {
+            let r = area_comparison(s);
+            assert!(r.saving > 0.0, "{s}: no area saving: {:?}", r);
+            assert!(r.ule_way_proposal_um2 < r.ule_way_baseline_um2, "{s}");
+        }
+    }
+
+    #[test]
+    fn reliability_proposal_never_corrupts_silently() {
+        let r = reliability(Scenario::A, 50, quick());
+        assert_eq!(r.proposal_silent, 0, "EDC must prevent silent corruption");
+        assert!(
+            r.strawman_silent > 0,
+            "no-EDC strawman must corrupt: the faults are real"
+        );
+        assert!(
+            r.proposal_corrected > 0,
+            "faults should trigger corrections"
+        );
+        assert!(r.mc_proposal >= r.analytic_baseline - 0.15);
+    }
+
+    #[test]
+    fn soft_error_study_shows_dected_advantage() {
+        let r = soft_error_study(
+            ExperimentParams {
+                instructions: 40_000,
+                seed: 5,
+            },
+            3e-8,
+        );
+        assert_eq!(r.silent, 0, "both codes must never corrupt silently");
+        assert!(
+            r.secded_detected > r.dected_detected,
+            "SECDED must lose correction on hard+soft words: {r:?}"
+        );
+        assert!(r.dected_corrected > 0);
+    }
+
+    #[test]
+    fn voltage_sweep_preserves_the_win() {
+        let rows = ablation_voltage(Scenario::A, quick());
+        assert!(rows.len() >= 3, "most voltages must be feasible");
+        for r in &rows {
+            assert!(
+                r.ule_saving > 0.10,
+                "saving collapsed at {} V: {}",
+                r.ule_vdd,
+                r.ule_saving
+            );
+            assert!(r.sizing_8t < r.sizing_10t, "8T must stay smaller");
+        }
+        // Lower voltage -> bigger cells (both families).
+        assert!(rows.first().unwrap().sizing_10t > rows.last().unwrap().sizing_10t);
+    }
+
+    #[test]
+    fn granularity_tradeoff_shape() {
+        let rows = ablation_granularity();
+        assert_eq!(rows.len(), 3);
+        // Overhead decreases with word size.
+        assert!(rows[0].storage_overhead > rows[1].storage_overhead);
+        assert!(rows[1].storage_overhead > rows[2].storage_overhead);
+        // Finer granularity tolerates more faults, so sizing can only
+        // shrink (or stay) as words get smaller.
+        assert!(rows[0].sizing_8t <= rows[2].sizing_8t);
+    }
+}

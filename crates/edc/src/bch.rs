@@ -1,0 +1,512 @@
+//! DECTED (double-error-correcting, triple-error-detecting) codes built
+//! from a shortened binary BCH code with `t = 2` plus an overall parity
+//! bit.
+//!
+//! The underlying code is the classic BCH(63,51) code over GF(2^6) with
+//! generator `g(x) = m1(x) * m3(x)` (degree 12), shortened to the data
+//! width, then extended with one overall parity bit. That gives minimum
+//! distance 6: correct any 1–2 bit errors, detect any 3 bit errors,
+//! using `12 + 1 = 13` check bits — exactly the figure the paper quotes
+//! for DECTED protection of 32-bit data and 26-bit tag words.
+//!
+//! Codeword layout (LSB first):
+//!
+//! ```text
+//! bits 0..12        BCH parity (remainder coefficients x^0..x^11)
+//! bits 12..12+k     data (coefficients x^12..x^(11+k))
+//! bit  12+k         overall parity over all previous bits
+//! ```
+//!
+//! Decoding computes the syndromes `S1 = r(alpha)`, `S3 = r(alpha^3)`
+//! and the overall-parity discrepancy, then:
+//!
+//! * clean when everything is consistent;
+//! * single-error correction when the parity is odd and `S3 = S1^3`;
+//! * double-error correction by solving the quadratic error-locator
+//!   `x^2 + S1*x + (S3 + S1^3)/S1 = 0` via the GF(64) trace/quadratic
+//!   machinery in [`gf64`](crate::gf64);
+//! * detection otherwise. Because the extended distance is 6, weight-3
+//!   error patterns can never be mis-corrected, only detected.
+
+use crate::gf64::{eval_poly_bits, Gf64};
+use crate::parity::{parity64, xor_tree_gates};
+use crate::{mask_low, BuildCodeError, Decoded, EdcCode};
+
+/// Check bits used by this DECTED family: 12 BCH parity bits plus one
+/// overall parity bit.
+pub const CHECK_BITS: usize = 13;
+
+/// Degree of the BCH generator polynomial.
+const BCH_PARITY_BITS: usize = 12;
+
+/// Maximum supported data width: `63 - 12 = 51` bits.
+pub const MAX_DATA_BITS: usize = 51;
+
+/// A DECTED code for data words of `k <= 51` bits with 13 check bits.
+///
+/// # Example
+///
+/// ```
+/// use hyvec_edc::{DectedCode, EdcCode, Decoded};
+///
+/// let code = DectedCode::dected32();
+/// let cw = code.encode(0xCAFE_F00D);
+/// // Two independent bit errors (e.g. a hard fault plus a soft error):
+/// let faulty = cw ^ (1 << 3) ^ (1 << 30);
+/// assert_eq!(
+///     code.decode(faulty),
+///     Decoded::Corrected { data: 0xCAFE_F00D, errors: 2 }
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct DectedCode {
+    data_bits: usize,
+    /// Generator polynomial g(x) = m1(x) * m3(x), bit i = coeff of x^i.
+    generator: u16,
+    /// `column[i] = x^(12+i) mod g(x)` — the 12-bit BCH parity
+    /// contribution of data bit `i` (a parallel-encoder column).
+    columns: Vec<u16>,
+    /// For check bit `j`, the mask of data bits feeding its XOR tree.
+    row_data_masks: [u64; BCH_PARITY_BITS],
+}
+
+impl DectedCode {
+    /// Builds a DECTED code for `data_bits`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCodeError`] if `data_bits` is 0 or exceeds
+    /// [`MAX_DATA_BITS`].
+    pub fn new(data_bits: usize) -> Result<Self, BuildCodeError> {
+        if data_bits == 0 || data_bits > MAX_DATA_BITS {
+            return Err(BuildCodeError {
+                data_bits,
+                max_data_bits: MAX_DATA_BITS,
+            });
+        }
+        let generator = generator_poly();
+        let mut columns = Vec::with_capacity(data_bits);
+        for i in 0..data_bits {
+            let x_pow = 1u64 << (BCH_PARITY_BITS + i);
+            columns.push(poly_mod(x_pow, u64::from(generator)) as u16);
+        }
+        let mut row_data_masks = [0u64; BCH_PARITY_BITS];
+        for (i, &col) in columns.iter().enumerate() {
+            for (j, mask) in row_data_masks.iter_mut().enumerate() {
+                if col & (1 << j) != 0 {
+                    *mask |= 1u64 << i;
+                }
+            }
+        }
+        Ok(DectedCode {
+            data_bits,
+            generator,
+            columns,
+            row_data_masks,
+        })
+    }
+
+    /// The DECTED code protecting 32-bit data words (45-bit codeword).
+    pub fn dected32() -> Self {
+        DectedCode::new(32).expect("32 <= 51")
+    }
+
+    /// The DECTED code protecting 26-bit tag words (39-bit codeword).
+    pub fn dected26() -> Self {
+        DectedCode::new(26).expect("26 <= 51")
+    }
+
+    /// The generator polynomial `g(x)` (degree 12), bit `i` holding the
+    /// coefficient of `x^i`.
+    pub fn generator(&self) -> u16 {
+        self.generator
+    }
+
+    /// The parallel-encoder column of data bit `i`: the 12 BCH parity
+    /// bits toggled when data bit `i` is set
+    /// (`x^(12+i) mod g(x)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= data_bits()`.
+    pub fn column(&self, i: usize) -> u16 {
+        self.columns[i]
+    }
+
+    /// Number of bits in the BCH part of the codeword (excluding the
+    /// overall parity bit).
+    fn bch_bits(&self) -> usize {
+        BCH_PARITY_BITS + self.data_bits
+    }
+
+    /// Computes the 12 BCH parity bits for `data` via the parallel
+    /// encoder columns.
+    fn bch_parity(&self, data: u64) -> u16 {
+        let mut parity = 0u16;
+        for (j, &mask) in self.row_data_masks.iter().enumerate() {
+            parity |= (parity64(data & mask) as u16) << j;
+        }
+        parity
+    }
+
+    /// Attempts to locate two errors from syndromes `(s1, s3)`.
+    /// Returns codeword bit positions, or `None` when no valid
+    /// double-error pattern matches.
+    fn locate_double(&self, s1: Gf64, s3: Gf64) -> Option<(usize, usize)> {
+        if s1.is_zero() {
+            // X1 + X2 = 0 would need X1 == X2: impossible for two
+            // distinct positions.
+            return None;
+        }
+        // Product of the locators: X1*X2 = (S3 + S1^3) / S1.
+        let prod = (s3 + s1.pow(3)) / s1;
+        if prod.is_zero() {
+            // Would imply one locator is zero: not a position.
+            return None;
+        }
+        // x^2 + S1 x + prod = 0; substitute x = S1 y:
+        // y^2 + y = prod / S1^2.
+        let c = prod / (s1 * s1);
+        let y0 = c.solve_quadratic()?;
+        let x1 = s1 * y0;
+        let x2 = s1 * (y0 + Gf64::ONE);
+        if x1.is_zero() || x2.is_zero() || x1 == x2 {
+            return None;
+        }
+        let p1 = x1.log().expect("nonzero");
+        let p2 = x2.log().expect("nonzero");
+        // Shortened code: positions beyond the transmitted length are
+        // known-zero and cannot be in error.
+        if p1 >= self.bch_bits() || p2 >= self.bch_bits() {
+            return None;
+        }
+        Some((p1.min(p2), p1.max(p2)))
+    }
+}
+
+impl EdcCode for DectedCode {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        CHECK_BITS
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        let data = mask_low(data, self.data_bits);
+        let bch = (data << BCH_PARITY_BITS) | u64::from(self.bch_parity(data));
+        debug_assert_eq!(poly_mod(bch, u64::from(self.generator)), 0);
+        bch | (u64::from(parity64(bch)) << self.bch_bits())
+    }
+
+    fn decode(&self, word: u64) -> Decoded {
+        let bch_len = self.bch_bits();
+        let bch_rx = mask_low(word, bch_len);
+        let parity_rx = (word >> bch_len) & 1;
+        let parity_mismatch = parity64(bch_rx) as u64 != parity_rx;
+
+        let s1 = eval_poly_bits(bch_rx, Gf64::ALPHA);
+        let s3 = eval_poly_bits(bch_rx, Gf64::ALPHA.pow(3));
+
+        let extract = |bch: u64| mask_low(bch >> BCH_PARITY_BITS, self.data_bits);
+
+        if s1.is_zero() && s3.is_zero() {
+            return if parity_mismatch {
+                // The overall parity bit itself flipped.
+                Decoded::Corrected {
+                    data: extract(bch_rx),
+                    errors: 1,
+                }
+            } else {
+                Decoded::Clean {
+                    data: extract(bch_rx),
+                }
+            };
+        }
+
+        if parity_mismatch {
+            // Odd number of errors: try single-error correction.
+            if !s1.is_zero() && s3 == s1.pow(3) {
+                let pos = s1.log().expect("nonzero");
+                if pos < bch_len {
+                    return Decoded::Corrected {
+                        data: extract(bch_rx ^ (1u64 << pos)),
+                        errors: 1,
+                    };
+                }
+            }
+            // Three (or more, odd) errors: detected, uncorrectable.
+            return Decoded::Detected { errors_at_least: 3 };
+        }
+
+        // Even number of errors with nonzero syndrome.
+        if !s1.is_zero() && s3 == s1.pow(3) {
+            // One BCH error plus one flip of the overall parity bit.
+            let pos = s1.log().expect("nonzero");
+            if pos < bch_len {
+                return Decoded::Corrected {
+                    data: extract(bch_rx ^ (1u64 << pos)),
+                    errors: 2,
+                };
+            }
+            return Decoded::Detected { errors_at_least: 4 };
+        }
+        if let Some((p1, p2)) = self.locate_double(s1, s3) {
+            return Decoded::Corrected {
+                data: extract(bch_rx ^ (1u64 << p1) ^ (1u64 << p2)),
+                errors: 2,
+            };
+        }
+        // Even, nonzero, not a valid double: at least four errors.
+        Decoded::Detected { errors_at_least: 4 }
+    }
+
+    fn encoder_xor_gates(&self) -> usize {
+        let bch: usize = self
+            .row_data_masks
+            .iter()
+            .map(|m| xor_tree_gates(m.count_ones() as usize))
+            .sum();
+        // Plus the overall-parity tree across the BCH codeword.
+        bch + xor_tree_gates(self.bch_bits())
+    }
+
+    fn decoder_xor_gates(&self) -> usize {
+        // Syndrome computation (two GF(64) evaluations realized as 12
+        // parallel XOR trees over the codeword) and the parity tree,
+        // plus the correction logic, which dominates: a Chien-style
+        // evaluation of the quadratic error locator at every codeword
+        // position costs two GF(64) constant multiplications and a
+        // comparison per position (~25 XOR-equivalents), plus the
+        // key-equation arithmetic (inversion, multiply, trace —
+        // ~300 gate-equivalents).
+        let syndrome: usize = self
+            .row_data_masks
+            .iter()
+            .map(|m| xor_tree_gates(m.count_ones() as usize + 1))
+            .sum();
+        syndrome + xor_tree_gates(self.total_bits()) + 25 * self.total_bits() + 300
+    }
+}
+
+/// Remainder of the GF(2) polynomial `v` modulo `g` (bit `i` = coeff of
+/// `x^i`).
+fn poly_mod(mut v: u64, g: u64) -> u64 {
+    let gdeg = 63 - g.leading_zeros() as usize;
+    loop {
+        if v == 0 {
+            return 0;
+        }
+        let vdeg = 63 - v.leading_zeros() as usize;
+        if vdeg < gdeg {
+            return v;
+        }
+        v ^= g << (vdeg - gdeg);
+    }
+}
+
+/// Product of two GF(2) polynomials.
+fn poly_mul(a: u64, b: u64) -> u64 {
+    let mut out = 0u64;
+    let mut a = a;
+    let mut shift = 0;
+    while a != 0 {
+        if a & 1 != 0 {
+            out ^= b << shift;
+        }
+        a >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+/// Minimal polynomial over GF(2) of `alpha^e` in GF(64): the product of
+/// `(x + alpha^(e * 2^i))` over the conjugacy class of `e`.
+fn minimal_poly(e: usize) -> u64 {
+    // Collect the conjugacy class {e, 2e, 4e, ...} mod 63.
+    let mut class = Vec::new();
+    let mut cur = e % 63;
+    loop {
+        class.push(cur);
+        cur = (cur * 2) % 63;
+        if cur == e % 63 {
+            break;
+        }
+    }
+    // Multiply out the linear factors with coefficients in GF(64).
+    let mut coeffs: Vec<Gf64> = vec![Gf64::ONE]; // the polynomial "1"
+    for &exp in &class {
+        let root = Gf64::alpha_pow(exp);
+        // coeffs * (x + root)
+        let mut next = vec![Gf64::ZERO; coeffs.len() + 1];
+        for (i, &c) in coeffs.iter().enumerate() {
+            next[i + 1] = next[i + 1] + c; // times x
+            next[i] = next[i] + c * root; // times root
+        }
+        coeffs = next;
+    }
+    // The result must have GF(2) coefficients; pack into bits.
+    let mut packed = 0u64;
+    for (i, &c) in coeffs.iter().enumerate() {
+        match c.value() {
+            0 => {}
+            1 => packed |= 1u64 << i,
+            v => panic!("minimal polynomial coefficient {v} not in GF(2)"),
+        }
+    }
+    packed
+}
+
+/// The BCH(63,51) generator polynomial `g(x) = m1(x) * m3(x)`.
+fn generator_poly() -> u16 {
+    let g = poly_mul(minimal_poly(1), minimal_poly(3));
+    debug_assert_eq!(63 - g.leading_zeros() as usize, BCH_PARITY_BITS);
+    g as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_polys_match_the_literature() {
+        // For p(x) = x^6 + x + 1: m1 = x^6+x+1, m3 = x^6+x^4+x^2+x+1.
+        assert_eq!(minimal_poly(1), 0b100_0011);
+        assert_eq!(minimal_poly(3), 0b101_0111);
+    }
+
+    #[test]
+    fn generator_has_degree_12_and_roots_alpha_1_through_4() {
+        let g = u64::from(generator_poly());
+        assert_eq!(63 - g.leading_zeros() as usize, 12);
+        // BCH bound: alpha^1..alpha^4 must all be roots (conjugates of
+        // alpha and alpha^3 include alpha^2 and alpha^4).
+        for e in 1..=4 {
+            assert_eq!(
+                eval_poly_bits(g, Gf64::alpha_pow(e)),
+                Gf64::ZERO,
+                "alpha^{e} must be a root of g"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert!(DectedCode::new(0).is_err());
+        assert!(DectedCode::new(52).is_err());
+        assert!(DectedCode::new(51).is_ok());
+    }
+
+    #[test]
+    fn named_constructors_match_paper_geometry() {
+        let data = DectedCode::dected32();
+        assert_eq!(data.data_bits(), 32);
+        assert_eq!(data.check_bits(), 13);
+        assert_eq!(data.total_bits(), 45);
+        let tag = DectedCode::dected26();
+        assert_eq!(tag.total_bits(), 39);
+    }
+
+    #[test]
+    fn encode_decode_clean_roundtrip() {
+        for k in [1usize, 8, 26, 32, 51] {
+            let code = DectedCode::new(k).unwrap();
+            for data in [0u64, 1, 0x5555_5555_5555_5555, u64::MAX] {
+                let cw = code.encode(data);
+                let expect = mask_low(data, k);
+                assert_eq!(code.decode(cw), Decoded::Clean { data: expect }, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_codeword_is_divisible_by_generator() {
+        let code = DectedCode::dected32();
+        let g = u64::from(code.generator());
+        for data in [0u64, 1, 0xDEAD_BEEF, 0xFFFF_FFFF, 0x8000_0001] {
+            let cw = code.encode(data);
+            let bch = mask_low(cw, 44);
+            assert_eq!(poly_mod(bch, g), 0, "data {data:#x}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        for k in [26usize, 32] {
+            let code = DectedCode::new(k).unwrap();
+            let data = 0x9E37_79B9 & ((1u64 << k) - 1);
+            let cw = code.encode(data);
+            for bit in 0..code.total_bits() {
+                let got = code.decode(cw ^ (1u64 << bit));
+                assert_eq!(
+                    got,
+                    Decoded::Corrected { data, errors: 1 },
+                    "bit {bit}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_double_bit_error() {
+        for k in [26usize, 32] {
+            let code = DectedCode::new(k).unwrap();
+            let data = 0x0F0F_A5A5 & ((1u64 << k) - 1);
+            let cw = code.encode(data);
+            let n = code.total_bits();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let got = code.decode(cw ^ (1u64 << a) ^ (1u64 << b));
+                    assert_eq!(
+                        got,
+                        Decoded::Corrected { data, errors: 2 },
+                        "bits {a},{b}, k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_triple_bit_error_without_miscorrection() {
+        let code = DectedCode::dected32();
+        let data = 0x1357_9BDF;
+        let cw = code.encode(data);
+        let n = code.total_bits();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let got = code.decode(cw ^ (1u64 << a) ^ (1u64 << b) ^ (1u64 << c));
+                    assert_eq!(
+                        got,
+                        Decoded::Detected { errors_at_least: 3 },
+                        "bits {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_are_plausible() {
+        let code = DectedCode::dected32();
+        let secded = crate::HsiaoCode::secded32();
+        use crate::EdcCode as _;
+        // DECTED logic is substantially larger than SECDED, in line with
+        // the paper's premise that stronger codes cost more energy.
+        assert!(code.encoder_xor_gates() > secded.encoder_xor_gates());
+        assert!(code.decoder_xor_gates() > secded.decoder_xor_gates());
+        assert!(code.encoder_xor_gates() < 600);
+    }
+
+    #[test]
+    fn poly_mod_and_mul_basics() {
+        // (x^3 + 1) * (x + 1) = x^4 + x^3 + x + 1
+        assert_eq!(poly_mul(0b1001, 0b11), 0b11011);
+        // x^4 + x^3 + x + 1 mod (x^3 + 1) = x^3+... compute: x^4+x^3+x+1
+        // ^ (x^3+1)<<1 = x^4+x^3+x+1 ^ x^4+x = x^3+1; ^ (x^3+1) = 0.
+        assert_eq!(poly_mod(0b11011, 0b1001), 0);
+        assert_eq!(poly_mod(0b101, 0b1001), 0b101);
+    }
+}

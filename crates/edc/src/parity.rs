@@ -1,0 +1,50 @@
+//! Bit-level parity helpers shared by the code implementations.
+
+/// Parity of the set bits of `x`: `1` if odd, `0` if even.
+///
+/// ```
+/// use hyvec_edc::parity::parity64;
+/// assert_eq!(parity64(0b0111), 1);
+/// assert_eq!(parity64(0b0101), 0);
+/// ```
+#[inline]
+pub fn parity64(x: u64) -> u32 {
+    x.count_ones() & 1
+}
+
+/// Number of two-input XOR gates in a balanced tree computing the parity
+/// of `inputs` bits. A tree over `n` inputs needs exactly `n - 1` gates.
+#[inline]
+pub fn xor_tree_gates(inputs: usize) -> usize {
+    inputs.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_basics() {
+        assert_eq!(parity64(0), 0);
+        assert_eq!(parity64(1), 1);
+        assert_eq!(parity64(u64::MAX), 0);
+        assert_eq!(parity64(u64::MAX >> 1), 1);
+    }
+
+    #[test]
+    fn flipping_any_bit_flips_parity() {
+        let x = 0x9E37_79B9_7F4A_7C15u64;
+        let p = parity64(x);
+        for bit in 0..64 {
+            assert_eq!(parity64(x ^ (1 << bit)), p ^ 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn tree_gate_count() {
+        assert_eq!(xor_tree_gates(0), 0);
+        assert_eq!(xor_tree_gates(1), 0);
+        assert_eq!(xor_tree_gates(2), 1);
+        assert_eq!(xor_tree_gates(13), 12);
+    }
+}

@@ -1,0 +1,278 @@
+//! The deterministic trace generator: turns a [`WorkloadSpec`] into a
+//! stream of fetched instructions with optional data accesses.
+
+use crate::spec::{Pattern, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One data memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataAccess {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Access width in bytes (1–8).
+    pub size: u8,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+}
+
+/// One executed instruction: a fetch plus an optional data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// Program counter of the fetched instruction.
+    pub pc: u64,
+    /// The data access performed by the instruction, if any.
+    pub access: Option<DataAccess>,
+}
+
+/// Iterator over a synthetic instruction trace.
+///
+/// The generator models a hot inner loop fetched sequentially (with
+/// wraparound) that occasionally bursts into cold helper code, and a
+/// weighted mix of data regions each walked by its own pattern
+/// cursor. Identical `(spec, instructions, seed)` yield identical
+/// traces.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    spec: WorkloadSpec,
+    remaining: u64,
+    rng: SmallRng,
+    /// Byte offset of the next fetch within the hot loop.
+    hot_offset: u64,
+    /// Remaining instructions of a cold-code burst (0 = in hot loop).
+    cold_burst: u32,
+    /// Byte offset of the next cold fetch.
+    cold_offset: u64,
+    /// Per-region pattern state: (cursor, current block base).
+    cursors: Vec<(u64, u64)>,
+    /// Cumulative region weights for selection.
+    cumweights: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace of `instructions` entries from `spec` with a
+    /// deterministic `seed`.
+    pub fn new(spec: WorkloadSpec, instructions: u64, seed: u64) -> Self {
+        let mut acc = 0.0;
+        let cumweights = spec
+            .regions
+            .iter()
+            .map(|r| {
+                acc += r.weight;
+                acc
+            })
+            .collect();
+        let cursors = vec![(0u64, u64::MAX); spec.regions.len()];
+        Trace {
+            remaining: instructions,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_5EED),
+            hot_offset: 0,
+            cold_burst: 0,
+            cold_offset: 0,
+            cursors,
+            cumweights,
+            spec,
+        }
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        let base = self.spec.code_base();
+        if self.cold_burst > 0 {
+            // Walking helper code.
+            self.cold_burst -= 1;
+            let cold_len = self.spec.code_bytes - self.spec.hot_code_bytes;
+            let pc = base + self.spec.hot_code_bytes + (self.cold_offset % cold_len.max(4));
+            self.cold_offset = self.cold_offset.wrapping_add(4);
+            return pc;
+        }
+        let cold_len = self
+            .spec
+            .code_bytes
+            .saturating_sub(self.spec.hot_code_bytes);
+        if cold_len >= 4 && self.rng.gen::<f64>() < self.spec.helper_prob {
+            // Enter a helper burst at a random cold entry point.
+            self.cold_burst = self.rng.gen_range(8..=24);
+            let entries = cold_len / 4;
+            self.cold_offset = self.rng.gen_range(0..entries) * 4;
+            return self.next_pc();
+        }
+        let pc = base + self.hot_offset;
+        self.hot_offset = (self.hot_offset + 4) % self.spec.hot_code_bytes;
+        pc
+    }
+
+    fn next_access(&mut self) -> DataAccess {
+        // Select a region by cumulative weight.
+        let x: f64 = self.rng.gen();
+        let idx = self
+            .cumweights
+            .iter()
+            .position(|&c| x < c)
+            .unwrap_or(self.spec.regions.len() - 1);
+        let region = self.spec.regions[idx];
+        let (cursor, block_base) = &mut self.cursors[idx];
+        let (addr, size) = match region.pattern {
+            Pattern::Sequential { stride } => {
+                let a = region.base + *cursor;
+                *cursor = (*cursor + stride) % region.size;
+                (a, stride.clamp(1, 4) as u8)
+            }
+            Pattern::Random => {
+                let words = region.size / 4;
+                let a = region.base + self.rng.gen_range(0..words) * 4;
+                (a, 4)
+            }
+            Pattern::BlockRandom { block, stride } => {
+                if *block_base == u64::MAX || *cursor >= block {
+                    let blocks = region.size / block;
+                    *block_base = self.rng.gen_range(0..blocks) * block;
+                    *cursor = 0;
+                }
+                let a = region.base + *block_base + *cursor;
+                *cursor += stride;
+                (a, stride.clamp(1, 4) as u8)
+            }
+        };
+        let is_write = self.rng.gen::<f64>() < self.spec.write_fraction;
+        DataAccess {
+            addr,
+            size,
+            is_write,
+        }
+    }
+}
+
+impl Iterator for Trace {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let pc = self.next_pc();
+        let access = if self.rng.gen::<f64>() < self.spec.access_ratio {
+            Some(self.next_access())
+        } else {
+            None
+        };
+        Some(TraceEntry { pc, access })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Trace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn length_is_exact() {
+        let t = Benchmark::GsmC.trace(12_345, 0);
+        assert_eq!(t.len(), 12_345);
+        assert_eq!(t.count(), 12_345);
+    }
+
+    #[test]
+    fn pcs_stay_inside_the_code_segment() {
+        let spec = Benchmark::Mpeg2C.spec();
+        let lo = spec.code_base();
+        let hi = lo + spec.code_bytes;
+        for e in Benchmark::Mpeg2C.trace(50_000, 11) {
+            assert!(e.pc >= lo && e.pc < hi, "pc {:#x} out of code", e.pc);
+            assert_eq!(e.pc % 4, 0, "unaligned pc");
+        }
+    }
+
+    #[test]
+    fn data_addresses_stay_inside_declared_regions() {
+        for b in [Benchmark::AdpcmC, Benchmark::G721D, Benchmark::Mpeg2D] {
+            let spec = b.spec();
+            for e in b.trace(50_000, 5) {
+                if let Some(a) = e.access {
+                    let inside = spec
+                        .regions
+                        .iter()
+                        .any(|r| a.addr >= r.base && a.addr < r.base + r.size);
+                    assert!(inside, "{b}: addr {:#x} outside all regions", a.addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_loop_dominates_fetches() {
+        let spec = Benchmark::AdpcmC.spec();
+        let hot_end = spec.code_base() + spec.hot_code_bytes;
+        let n = 100_000u64;
+        let hot = Benchmark::AdpcmC
+            .trace(n, 3)
+            .filter(|e| e.pc < hot_end)
+            .count() as f64;
+        assert!(
+            hot / n as f64 > 0.85,
+            "hot-loop fraction too low: {}",
+            hot / n as f64
+        );
+    }
+
+    #[test]
+    fn all_regions_get_visited() {
+        let spec = Benchmark::EpicC.spec();
+        let mut hit = vec![false; spec.regions.len()];
+        for e in Benchmark::EpicC.trace(20_000, 1) {
+            if let Some(a) = e.access {
+                for (i, r) in spec.regions.iter().enumerate() {
+                    if a.addr >= r.base && a.addr < r.base + r.size {
+                        hit[i] = true;
+                    }
+                }
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "unvisited regions: {hit:?}");
+    }
+
+    #[test]
+    fn block_random_walks_blocks_sequentially() {
+        // Consecutive accesses to a BlockRandom region inside one block
+        // advance by the stride.
+        let spec = Benchmark::Mpeg2C.spec();
+        let region = spec.regions[0];
+        let (block, stride) = match region.pattern {
+            Pattern::BlockRandom { block, stride } => (block, stride),
+            other => panic!("expected BlockRandom, got {other:?}"),
+        };
+        let addrs: Vec<u64> = Benchmark::Mpeg2C
+            .trace(200_000, 9)
+            .filter_map(|e| e.access)
+            .map(|a| a.addr)
+            .filter(|&a| a >= region.base && a < region.base + region.size)
+            .collect();
+        assert!(addrs.len() > 100);
+        let mut sequential_pairs = 0usize;
+        for w in addrs.windows(2) {
+            if w[1] == w[0] + stride && (w[0] - region.base) % block != block - stride {
+                sequential_pairs += 1;
+            }
+        }
+        assert!(
+            sequential_pairs * 2 > addrs.len(),
+            "block walks not sequential: {sequential_pairs}/{}",
+            addrs.len()
+        );
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut t = Benchmark::AdpcmD.trace(10, 0);
+        assert_eq!(t.size_hint(), (10, Some(10)));
+        t.next();
+        assert_eq!(t.size_hint(), (9, Some(9)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the synthetic workload generators.
+
+use hyvec_mediabench::{Benchmark, Pattern};
+use proptest::prelude::*;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    /// Traces are exactly reproducible from their seed and length.
+    #[test]
+    fn determinism(b in arb_benchmark(), n in 1u64..3000, seed: u64) {
+        let t1: Vec<_> = b.trace(n, seed).collect();
+        let t2: Vec<_> = b.trace(n, seed).collect();
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(t1.len() as u64, n);
+    }
+
+    /// Every emitted address is inside the declared footprint and
+    /// word-pattern-consistent: PCs 4-aligned in the code segment,
+    /// data inside a declared region.
+    #[test]
+    fn addresses_in_bounds(b in arb_benchmark(), n in 100u64..3000, seed: u64) {
+        let spec = b.spec();
+        let code_end = spec.code_base() + spec.code_bytes;
+        for e in b.trace(n, seed) {
+            prop_assert!(e.pc >= spec.code_base() && e.pc < code_end);
+            prop_assert_eq!(e.pc % 4, 0);
+            if let Some(a) = e.access {
+                prop_assert!(a.size >= 1 && a.size <= 8);
+                let inside = spec
+                    .regions
+                    .iter()
+                    .any(|r| a.addr >= r.base && a.addr + u64::from(a.size) <= r.base + r.size + 8);
+                prop_assert!(inside, "addr {:#x} escaped regions", a.addr);
+            }
+        }
+    }
+
+    /// Long-run access ratios converge to the spec within sampling
+    /// noise.
+    #[test]
+    fn ratios_converge(b in arb_benchmark(), seed in 0u64..32) {
+        let spec = b.spec();
+        let n = 30_000u64;
+        let accesses = b.trace(n, seed).filter(|e| e.access.is_some()).count() as f64;
+        let ratio = accesses / n as f64;
+        prop_assert!(
+            (ratio - spec.access_ratio).abs() < 0.02,
+            "{b}: ratio {ratio} vs spec {}", spec.access_ratio
+        );
+    }
+
+    /// Different seeds eventually diverge (the generator really uses
+    /// its randomness).
+    #[test]
+    fn seeds_matter(b in arb_benchmark(), seed in 0u64..1000) {
+        let t1: Vec<_> = b.trace(2000, seed).collect();
+        let t2: Vec<_> = b.trace(2000, seed.wrapping_add(1)).collect();
+        prop_assert_ne!(t1, t2);
+    }
+
+    /// Sequential regions are walked with their declared stride
+    /// (cursor arithmetic never skips or escapes).
+    #[test]
+    fn sequential_regions_wrap(b in arb_benchmark(), seed in 0u64..64) {
+        let spec = b.spec();
+        for (idx, r) in spec.regions.iter().enumerate() {
+            if let Pattern::Sequential { stride } = r.pattern {
+                let addrs: Vec<u64> = b
+                    .trace(20_000, seed)
+                    .filter_map(|e| e.access)
+                    .map(|a| a.addr)
+                    .filter(|&a| a >= r.base && a < r.base + r.size)
+                    .collect();
+                if addrs.len() < 3 {
+                    continue;
+                }
+                for w in addrs.windows(2) {
+                    let step = (w[1] + r.size - w[0]) % r.size;
+                    prop_assert_eq!(
+                        step % stride, 0,
+                        "region {} of {}: step {} not a stride multiple", idx, b, step
+                    );
+                }
+            }
+        }
+    }
+}

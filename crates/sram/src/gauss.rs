@@ -1,0 +1,198 @@
+//! Gaussian tail probabilities and quantiles.
+//!
+//! The failure model expresses a cell's hard-failure probability as the
+//! upper tail `Q(z)` of a standard normal — the probability that the
+//! threshold-voltage deviation of a critical transistor exceeds the
+//! cell's static margin. Failure rates of interest reach below 1e-9, so
+//! the asymptotic regime matters: `erfc` is computed with a Taylor
+//! series for small arguments and a Lentz continued fraction for large
+//! ones, giving ~1e-13 relative accuracy across the whole range.
+
+/// Complementary error function, accurate to ~1e-13 relative error.
+///
+/// ```
+/// use hyvec_sram::gauss::erfc;
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-14);
+/// assert!(erfc(5.0) < 2e-11);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.0 {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Error function via its Maclaurin series (converges quickly for
+/// `|x| < 2`).
+fn erf_series(x: f64) -> f64 {
+    const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        // term_{n} = term_{n-1} * (-x^2) / n, contributing /(2n+1).
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        sum += contrib;
+        if contrib.abs() < 1e-17 * sum.abs().max(1e-300) || n > 200 {
+            break;
+        }
+    }
+    TWO_OVER_SQRT_PI * sum
+}
+
+/// Continued-fraction expansion of `erfc` (modified Lentz), valid for
+/// `x >= 2`:
+/// `erfc(x) = exp(-x^2)/(x*sqrt(pi)) * 1/(1 + 1/(2x^2)/(1 + 2/(2x^2)/...))`
+fn erfc_cf(x: f64) -> f64 {
+    // sqrt(pi), to full f64 precision.
+    #[allow(clippy::approx_constant)]
+    const SQRT_PI: f64 = 1.772_453_850_905_516;
+    let x2 = x * x;
+    let tiny = 1e-300;
+    let mut f = tiny;
+    let mut c = f;
+    let mut d = 0.0;
+    // Continued fraction: b0 = 1, a_n = n/(2x^2), b_n = 1.
+    for n in 0..300 {
+        let a = if n == 0 { 1.0 } else { n as f64 / (2.0 * x2) };
+        let b = 1.0;
+        d = b + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    ((-x2).exp() / (x * SQRT_PI)) * f
+}
+
+/// Upper-tail probability of the standard normal:
+/// `Q(z) = P(X > z) = erfc(z / sqrt(2)) / 2`.
+///
+/// ```
+/// use hyvec_sram::gauss::q;
+/// assert!((q(0.0) - 0.5).abs() < 1e-14);
+/// // The classic 4.75-sigma point is about 1e-6.
+/// assert!((q(4.753424) - 1.0e-6).abs() < 1e-8);
+/// ```
+pub fn q(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of [`q`]: the `z` with `Q(z) = p`, for `p in (0, 1)`.
+///
+/// Solved by bisection on the monotone tail; accurate to ~1e-12 in `z`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn q_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "q_inv requires p in (0,1), got {p}");
+    let (mut lo, mut hi) = (-40.0f64, 40.0f64);
+    // q is strictly decreasing: q(lo) ~ 1, q(hi) ~ 0.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if q(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // Reference values from standard tables / mpmath.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.479_500_122_186_953_5),
+            (1.0, 0.157_299_207_050_285_13),
+            (2.0, 0.004_677_734_981_063_6),
+            (3.0, 2.209_049_699_858_544e-5),
+            (4.0, 1.541_725_790_028_002e-8),
+            (5.0, 1.537_459_794_428_035e-12),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-10,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_negative_symmetry() {
+        for x in [0.1, 0.7, 1.5, 3.0] {
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn q_reference_values() {
+        // Standard normal tail: Q(1.96) ~ 0.025, Q(3) ~ 1.35e-3,
+        // Q(6) ~ 9.87e-10.
+        assert!((q(1.959_963_984_540_054) - 0.025).abs() < 1e-12);
+        assert!(((q(3.0) - 1.349_898_031_630_095e-3) / 1.35e-3).abs() < 1e-9);
+        assert!(((q(6.0) - 9.865_876_450_376_946e-10) / 9.87e-10).abs() < 1e-8);
+    }
+
+    #[test]
+    fn q_is_monotone_decreasing() {
+        let mut prev = q(-8.0);
+        let mut z = -8.0;
+        while z <= 8.0 {
+            z += 0.25;
+            let cur = q(z);
+            assert!(cur < prev, "q not decreasing at z={z}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn q_inv_roundtrips() {
+        for p in [0.4, 0.1, 1e-2, 1e-4, 1e-6, 1e-9, 1e-12] {
+            let z = q_inv(p);
+            let back = q(z);
+            assert!(
+                ((back - p) / p).abs() < 1e-9,
+                "roundtrip failed: p={p}, z={z}, q(z)={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_inv_known_quantiles() {
+        assert!((q_inv(0.5) - 0.0).abs() < 1e-10);
+        assert!((q_inv(0.025) - 1.959_963_984_540_054).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn q_inv_rejects_out_of_range() {
+        let _ = q_inv(1.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hyvec-sram — SRAM cell library, failure model and yield math
+//!
+//! This crate provides the device-level substrate of the hybrid-voltage
+//! cache study of Maric et al. (DATE 2013):
+//!
+//! * [`cell`] — the three bitcell families used by the paper
+//!   (differential 6T, read-port 8T after Morita et al., Schmitt-trigger
+//!   10T after Kulkarni et al.) with their geometric and electrical
+//!   characteristics at the 32nm node;
+//! * [`failure`] — an analytic stand-in for the importance-sampling
+//!   failure analysis of Chen et al. (ICCAD 2007): per-cell hard-failure
+//!   probability as a function of supply voltage and transistor sizing,
+//!   with sizing reducing threshold-voltage spread per Pelgrom's law;
+//! * [`yield_model`] — the paper's Equations (1) and (2): probability of
+//!   a fault-free (or correctable) tag/data word and whole-cache yield,
+//!   plus the inverse problem (required bit-failure rate for a target
+//!   yield) used for the paper's `Pf = 1.22e-6` example;
+//! * [`gauss`] — high-accuracy Gaussian tail and quantile functions the
+//!   failure model is built on.
+//!
+//! # Example: the paper's sizing anchor
+//!
+//! ```
+//! use hyvec_sram::yield_model::required_pf;
+//!
+//! // "to have a 99% yield for an 8KB cache, faulty bit rate Pf must be
+//! //  1.22e-6" (paper, Sec. III-C; computed over the 8192 data bits of
+//! //  one 1KB ULE way).
+//! let pf = required_pf(0.99, 8192);
+//! assert!((pf - 1.22e-6).abs() < 0.01e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod failure;
+pub mod gauss;
+pub mod yield_model;
+
+pub use cell::{CellKind, SizedCell};
+pub use failure::FailureModel;

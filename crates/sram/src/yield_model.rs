@@ -1,0 +1,275 @@
+//! Cache yield mathematics — Equations (1) and (2) of the paper.
+//!
+//! A cache way is manufacturable ("yields") when every protected word
+//! can still operate correctly: an unprotected word must be completely
+//! fault-free, while an EDC-protected word may contain up to as many
+//! hard-faulty bits as the code can dedicate to hard faults (1 for
+//! SECDED in scenario A, 1 for DECTED in scenario B — DECTED's second
+//! correction is reserved for a runtime soft error).
+//!
+//! Equation (1):
+//! `P(word) = sum_{i=0}^{t} C(n+k, i) * Pf^i * (1-Pf)^(n+k-i)`
+//!
+//! Equation (2):
+//! `Y = P(data)^DW * P(tag)^TW`
+
+/// Probability that an `(n + k)`-bit word with per-bit hard-failure
+/// probability `pf` has at most `tolerable` faulty bits — the paper's
+/// Equation (1) generalized over the fault budget (`tolerable = 0` for
+/// no coding, `1` for SECDED/DECTED as used in the paper).
+///
+/// # Panics
+///
+/// Panics if `pf` is outside `[0, 1]`.
+///
+/// ```
+/// use hyvec_sram::yield_model::word_ok_probability;
+///
+/// // A fault-free 32-bit word with no coding:
+/// let p = word_ok_probability(1e-3, 32, 0);
+/// assert!((p - (1.0f64 - 1e-3).powi(32)).abs() < 1e-12);
+/// // SECDED makes the same bit-failure rate far more survivable:
+/// assert!(word_ok_probability(1e-3, 39, 1) > p);
+/// ```
+pub fn word_ok_probability(pf: f64, total_bits: u32, tolerable: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&pf), "pf must be in [0,1], got {pf}");
+    let n = total_bits;
+    let mut acc = 0.0f64;
+    for i in 0..=tolerable.min(n) {
+        acc += binomial(n, i) * pf.powi(i as i32) * (1.0 - pf).powi((n - i) as i32);
+    }
+    acc.min(1.0)
+}
+
+/// Whole-cache (or way) yield — the paper's Equation (2):
+/// `Y = P(data)^DW * P(tag)^TW`.
+///
+/// `dw` and `tw` are the number of data and tag words in the protected
+/// array.
+pub fn cache_yield(p_data: f64, dw: u64, p_tag: f64, tw: u64) -> f64 {
+    powi_u64(p_data, dw) * powi_u64(p_tag, tw)
+}
+
+/// The bit-failure rate that yields exactly `target_yield` over `bits`
+/// unprotected bits: `Pf = 1 - Y^(1/bits)`.
+///
+/// This is the "elementary probability calculation" behind the paper's
+/// example: `required_pf(0.99, 8192) = 1.22e-6`.
+///
+/// # Panics
+///
+/// Panics if `target_yield` is not in `(0, 1)` or `bits == 0`.
+pub fn required_pf(target_yield: f64, bits: u64) -> f64 {
+    assert!(
+        target_yield > 0.0 && target_yield < 1.0,
+        "yield must be in (0,1), got {target_yield}"
+    );
+    assert!(bits > 0, "bits must be positive");
+    1.0 - target_yield.powf(1.0 / bits as f64)
+}
+
+/// The bit-failure rate at which `words` words of `bits_per_word` bits,
+/// each tolerating up to `tolerable` hard faults, reach exactly
+/// `target_yield` — the generalization of [`required_pf`] to
+/// EDC-protected baselines (scenario B's `6T+SECDED` anchor).
+///
+/// Solved by bisection on the monotone yield curve. With
+/// `tolerable = 0` it agrees with the closed-form [`required_pf`].
+///
+/// # Panics
+///
+/// Panics if `target_yield` is not in `(0, 1)` or `words == 0` or
+/// `bits_per_word == 0`.
+pub fn required_pf_tolerant(
+    target_yield: f64,
+    words: u64,
+    bits_per_word: u32,
+    tolerable: u32,
+) -> f64 {
+    assert!(
+        target_yield > 0.0 && target_yield < 1.0,
+        "yield must be in (0,1), got {target_yield}"
+    );
+    assert!(words > 0 && bits_per_word > 0, "geometry must be nonzero");
+    let yield_at = |pf: f64| powi_u64(word_ok_probability(pf, bits_per_word, tolerable), words);
+    let (mut lo, mut hi) = (0.0f64, 0.5f64);
+    // yield_at is decreasing in pf: yield_at(lo) = 1 > target.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if yield_at(mid) > target_yield {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `k`
+/// used by Eq. (1)).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+fn powi_u64(base: f64, mut exp: u64) -> f64 {
+    let mut acc = 1.0f64;
+    let mut b = base;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc *= b;
+        }
+        b *= b;
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_pf_for_99_percent_yield() {
+        // Paper Sec. III-C: 99% yield over the 8K-bit example gives
+        // Pf = 1.22e-6.
+        let pf = required_pf(0.99, 8192);
+        assert!(
+            (pf - 1.2268e-6).abs() < 1e-9,
+            "anchor mismatch: got {pf}, want ~1.2268e-6"
+        );
+    }
+
+    #[test]
+    fn required_pf_roundtrips_through_yield() {
+        for (y, bits) in [(0.99, 8192u64), (0.95, 65536), (0.999, 1024)] {
+            let pf = required_pf(y, bits);
+            // Unprotected: every bit must work.
+            let back = powi_u64(1.0 - pf, bits);
+            assert!((back - y).abs() < 1e-9, "y={y}, bits={bits}");
+        }
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(39, 0), 1.0);
+        assert_eq!(binomial(39, 1), 39.0);
+        assert_eq!(binomial(39, 2), 741.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 6), 0.0);
+        assert_eq!(binomial(45, 2), 990.0);
+    }
+
+    #[test]
+    fn word_ok_probability_limits() {
+        assert_eq!(word_ok_probability(0.0, 39, 0), 1.0);
+        assert_eq!(word_ok_probability(0.0, 39, 1), 1.0);
+        assert!(word_ok_probability(1.0, 39, 1) < 1e-30);
+        // tolerable >= bits means always OK.
+        assert!((word_ok_probability(0.5, 4, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_strictly_helps() {
+        let pf = 5e-4;
+        let none = word_ok_probability(pf, 39, 0);
+        let one = word_ok_probability(pf, 39, 1);
+        let two = word_ok_probability(pf, 45, 2);
+        assert!(one > none);
+        assert!(two > word_ok_probability(pf, 45, 1));
+    }
+
+    #[test]
+    fn eq1_matches_closed_form_for_secded() {
+        // For tolerable = 1: P = (1-p)^n + n p (1-p)^(n-1).
+        let (pf, n) = (1e-3, 39u32);
+        let got = word_ok_probability(pf, n, 1);
+        let want = (1.0 - pf).powi(39) + 39.0 * pf * (1.0 - pf).powi(38);
+        assert!((got - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_cache_yield_composition() {
+        let y = cache_yield(0.999, 256, 0.9999, 32);
+        let want = 0.999f64.powi(256) * 0.9999f64.powi(32);
+        assert!((y - want).abs() < 1e-12);
+        // More words -> lower yield.
+        assert!(cache_yield(0.999, 512, 0.9999, 32) < y);
+    }
+
+    #[test]
+    fn secded_rescues_marginal_bit_failure_rates() {
+        // The crux of the proposal: a bit-failure rate catastrophic for
+        // unprotected words is survivable at word granularity with one
+        // correctable fault per word.
+        let pf = 3e-4; // marginal 8T at NST after modest upsizing
+        let dw = 256u64; // 1KB ULE way of 32-bit words
+        let tw = 32u64;
+        let unprotected = cache_yield(
+            word_ok_probability(pf, 32, 0),
+            dw,
+            word_ok_probability(pf, 26, 0),
+            tw,
+        );
+        let secded = cache_yield(
+            word_ok_probability(pf, 39, 1),
+            dw,
+            word_ok_probability(pf, 33, 1),
+            tw,
+        );
+        assert!(unprotected < 0.10, "unprotected should fail: {unprotected}");
+        assert!(secded > 0.95, "SECDED should rescue: {secded}");
+    }
+
+    #[test]
+    fn tolerant_inverse_agrees_with_closed_form_at_tol_zero() {
+        // 8192 bits as 256 words of 32: identical to the flat formula.
+        let flat = required_pf(0.99, 8192);
+        let word = required_pf_tolerant(0.99, 256, 32, 0);
+        assert!(
+            ((flat - word) / flat).abs() < 1e-6,
+            "flat {flat} vs word {word}"
+        );
+    }
+
+    #[test]
+    fn tolerant_inverse_roundtrips() {
+        for (y, words, bits, tol) in [
+            (0.99, 256u64, 39u32, 1u32),
+            (0.95, 64, 45, 1),
+            (0.999, 2048, 39, 1),
+        ] {
+            let pf = required_pf_tolerant(y, words, bits, tol);
+            let back = powi_u64(word_ok_probability(pf, bits, tol), words);
+            assert!((back - y).abs() < 1e-9, "y={y} words={words}");
+        }
+    }
+
+    #[test]
+    fn tolerance_relaxes_the_required_pf_by_orders_of_magnitude() {
+        // The crux of scenario B's anchor: a SECDED-protected baseline
+        // can live with a far higher bit-failure rate.
+        let strict = required_pf_tolerant(0.99, 256, 32, 0);
+        let relaxed = required_pf_tolerant(0.99, 256, 39, 1);
+        assert!(relaxed > 30.0 * strict, "{relaxed} vs {strict}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pf must be in")]
+    fn word_ok_rejects_bad_pf() {
+        let _ = word_ok_probability(1.5, 39, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield must be in")]
+    fn required_pf_rejects_bad_yield() {
+        let _ = required_pf(1.0, 100);
+    }
+}

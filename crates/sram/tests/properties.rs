@@ -1,0 +1,142 @@
+//! Property-based tests of the failure/yield models: monotonicity and
+//! consistency invariants over the whole parameter space.
+
+use hyvec_sram::cell::{CellKind, SizedCell};
+use hyvec_sram::gauss::{q, q_inv};
+use hyvec_sram::yield_model::{
+    binomial, cache_yield, required_pf, required_pf_tolerant, word_ok_probability,
+};
+use hyvec_sram::FailureModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Q is a valid decreasing CDF tail and q_inv inverts it (to the
+    /// accuracy the nearly-flat far tail permits).
+    #[test]
+    // The lower limit is -6: for z below that, p = q(z) rounds to
+    // within 1e-15 of 1.0 and the inverse is ill-conditioned in f64 —
+    // a representation limit, not a solver defect. (The positive far
+    // tail is fine: tiny probabilities are well-resolved.)
+    fn gaussian_tail_properties(z in -6.0f64..8.0) {
+        let p = q(z);
+        prop_assert!(p > 0.0 && p < 1.0);
+        prop_assert!(q(z + 0.1) < p);
+        let back = q_inv(p);
+        let tol = if z.abs() < 6.0 { 1e-6 } else { 1e-3 };
+        prop_assert!((back - z).abs() < tol, "z {z} -> p {p} -> {back}");
+    }
+
+    /// Failure probability is monotone: lower voltage or smaller
+    /// sizing never helps, for every cell family.
+    #[test]
+    fn pf_monotonicity(
+        v in 0.2f64..1.2,
+        s in 1.0f64..4.0,
+        kind_sel in 0usize..3,
+    ) {
+        let kind = CellKind::ALL[kind_sel];
+        let model = FailureModel::default();
+        let pf = model.pf(&SizedCell::new(kind, s), v);
+        prop_assert!((0.0..=1.0).contains(&pf));
+        let pf_lower_v = model.pf(&SizedCell::new(kind, s), v - 0.05);
+        prop_assert!(pf_lower_v >= pf, "{kind:?}: lower V must not help");
+    }
+
+    /// Above the half-failure voltage, the closed-form sizing always
+    /// achieves its target.
+    #[test]
+    fn sizing_achieves_target(
+        kind_sel in 0usize..3,
+        exp in 2.0f64..9.0,
+        dv in 0.06f64..0.5,
+    ) {
+        let kind = CellKind::ALL[kind_sel];
+        let model = FailureModel::default();
+        let v = model.params(kind).v_half + dv;
+        let target = 10f64.powf(-exp);
+        let s = model.sizing_for_pf(kind, v, target).unwrap();
+        prop_assert!(s >= 1.0);
+        if s <= 50.0 {
+            let achieved = model.pf(&SizedCell::new(kind, s), v);
+            prop_assert!(achieved <= target * 1.0001, "{kind:?}: {achieved} > {target}");
+        }
+    }
+
+    /// Eq. (1) is a probability, monotone in pf and in tolerance.
+    #[test]
+    fn word_ok_probability_properties(
+        pf in 0.0f64..0.2,
+        bits in 1u32..64,
+        tol in 0u32..3,
+    ) {
+        let p = word_ok_probability(pf, bits, tol);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Allow an ulp of slack: when tol >= bits both sides are
+        // exactly 1 up to floating-point summation order.
+        prop_assert!(word_ok_probability(pf, bits, tol + 1) >= p - 1e-12);
+        if pf > 1e-9 {
+            prop_assert!(word_ok_probability(pf * 0.5, bits, tol) >= p - 1e-12);
+        }
+    }
+
+    /// Eq. (2) equals the independent product and shrinks with word
+    /// count.
+    #[test]
+    fn cache_yield_properties(
+        p_data in 0.9f64..1.0,
+        p_tag in 0.9f64..1.0,
+        dw in 1u64..2048,
+        tw in 1u64..256,
+    ) {
+        let y = cache_yield(p_data, dw, p_tag, tw);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(cache_yield(p_data, dw + 1, p_tag, tw) <= y + 1e-12);
+        let manual = p_data.powf(dw as f64) * p_tag.powf(tw as f64);
+        prop_assert!((y - manual).abs() < 1e-9);
+    }
+
+    /// The inverse yield solvers roundtrip.
+    #[test]
+    fn required_pf_roundtrip(y in 0.5f64..0.9999, bits in 64u64..100_000) {
+        let pf = required_pf(y, bits);
+        prop_assert!(pf > 0.0 && pf < 1.0);
+        let back = (1.0 - pf).powf(bits as f64);
+        prop_assert!((back - y).abs() < 1e-6);
+    }
+
+    /// The tolerant inverse is consistent with the forward model.
+    #[test]
+    fn required_pf_tolerant_roundtrip(
+        y in 0.9f64..0.9999,
+        words in 16u64..2048,
+        bits in 16u32..64,
+        tol in 0u32..2,
+    ) {
+        let pf = required_pf_tolerant(y, words, bits, tol);
+        let back = word_ok_probability(pf, bits, tol).powf(words as f64);
+        prop_assert!((back - y).abs() < 1e-6, "y {y} back {back}");
+    }
+
+    /// Pascal's rule holds for the binomial helper.
+    #[test]
+    fn binomial_pascal(n in 1u32..60, k in 1u32..59) {
+        prop_assume!(k <= n);
+        let lhs = binomial(n + 1, k);
+        let rhs = binomial(n, k) + binomial(n, k - 1);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.max(1.0));
+    }
+
+    /// Cell geometry scales consistently: area grows with sizing but
+    /// sublinearly; leakage superlinearly; both positive.
+    #[test]
+    fn cell_scaling_laws(kind_sel in 0usize..3, s in 1.0f64..5.0) {
+        let kind = CellKind::ALL[kind_sel];
+        let small = SizedCell::new(kind, s);
+        let big = SizedCell::new(kind, s * 1.5);
+        prop_assert!(big.area_um2() > small.area_um2());
+        prop_assert!(big.area_um2() < 1.5 * small.area_um2(), "sublinear area");
+        let (ls, lb) = (small.leakage_na(0.35), big.leakage_na(0.35));
+        prop_assert!(lb > 1.5 * ls, "superlinear leakage");
+        prop_assert!(big.bitline_cap_ff() > small.bitline_cap_ff());
+    }
+}

@@ -1,0 +1,77 @@
+//! Design-space exploration with the public API: sweep the ULE
+//! voltage and the yield target and watch the methodology re-size the
+//! cells — the kind of study a downstream adopter would run before
+//! committing to a design point.
+//!
+//! ```text
+//! cargo run --example design_space --release
+//! ```
+
+use hyvec_core::methodology::{design_ule_way, MethodologyInputs};
+use hyvec_core::Scenario;
+use hyvec_sram::cell::{CellKind, SizedCell};
+use hyvec_sram::FailureModel;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = FailureModel::default();
+
+    println!("== ULE-voltage sweep (scenario A, 99% yield) ==");
+    println!(
+        "{:>8} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "Vcc(mV)", "10T size", "8T size", "10T area", "8T+7b area", "area save"
+    );
+    for mv in [300u32, 325, 350, 375, 400, 450] {
+        let inputs = MethodologyInputs {
+            ule_vdd: f64::from(mv) / 1000.0,
+            ..MethodologyInputs::default()
+        };
+        match design_ule_way(Scenario::A, &model, &inputs) {
+            Ok(d) => {
+                let a10 = SizedCell::new(CellKind::Sram10T, d.sizing_10t).area_um2();
+                let a8 = SizedCell::new(CellKind::Sram8T, d.sizing_8t).area_um2() * 39.0 / 32.0;
+                println!(
+                    "{:>8} {:>9.2} {:>9.2} {:>10.3}u {:>10.3}u {:>9.1}%",
+                    mv,
+                    d.sizing_10t,
+                    d.sizing_8t,
+                    a10,
+                    a8,
+                    100.0 * (1.0 - a8 / a10)
+                );
+            }
+            Err(e) => println!("{mv:>8} methodology infeasible: {e}"),
+        }
+    }
+
+    println!("\n== Yield-target sweep (scenario A at 350mV) ==");
+    println!(
+        "{:>8} {:>12} {:>9} {:>9} {:>12}",
+        "yield", "Pf anchor", "10T size", "8T size", "8T Pf"
+    );
+    for target in [0.90, 0.95, 0.99, 0.999] {
+        let inputs = MethodologyInputs {
+            target_yield: target,
+            ..MethodologyInputs::default()
+        };
+        let d = design_ule_way(Scenario::A, &model, &inputs)?;
+        println!(
+            "{:>8.3} {:>12.3e} {:>9.2} {:>9.2} {:>12.3e}",
+            target, d.pf_target, d.sizing_10t, d.sizing_8t, d.pf_8t
+        );
+    }
+
+    println!("\n== Where does 6T stop working? ==");
+    for mv in [1000u32, 800, 700, 650, 620, 600, 500, 350] {
+        let v = f64::from(mv) / 1000.0;
+        match model.sizing_for_pf(CellKind::Sram6T, v, 1.22e-6) {
+            Ok(s) => println!("  {mv:>4} mV: 6T works at sizing x{s:.2}"),
+            Err(e) => println!("  {mv:>4} mV: {e}"),
+        }
+    }
+
+    println!("\nThe 8T+SECDED point stays well below the 10T sizing across the");
+    println!("whole sweep — the proposal's advantage is robust to the exact");
+    println!("ULE voltage and yield target, not an artifact of one setting.");
+    Ok(())
+}

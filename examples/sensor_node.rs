@@ -1,0 +1,86 @@
+//! Sensor-node duty cycle: the deployment the paper's introduction
+//! motivates — a battery-powered environmental monitor that spends
+//! ~99.9% of its time in ULE mode sampling and filtering, waking to
+//! HP mode only for infrequent events (Szewczyk et al.'s sensor
+//! deployments report 0.01%–1% active time).
+//!
+//! The example integrates energy over a duty-cycled day for the
+//! baseline and proposed designs and reports the battery-life
+//! implication.
+//!
+//! ```text
+//! cargo run --example sensor_node --release
+//! ```
+
+use hyvec_cachesim::{Mode, System};
+use hyvec_core::architecture::{Architecture, DesignPoint, Scenario};
+use hyvec_mediabench::Benchmark;
+use std::error::Error;
+
+/// One duty-cycle description: what runs in each mode and how the
+/// wall-clock day splits between them.
+struct DutyCycle {
+    /// Fraction of time at HP mode (the paper quotes 0.01%–1%).
+    hp_fraction: f64,
+    /// Workload at HP (event analysis burst).
+    hp_workload: Benchmark,
+    /// Workload at ULE (continuous monitoring).
+    ule_workload: Benchmark,
+}
+
+/// Average power of a design under the duty cycle, in microwatts.
+fn average_power_uw(point: DesignPoint, duty: &DutyCycle) -> Result<f64, Box<dyn Error>> {
+    let arch = Architecture::build(Scenario::A, point)?;
+    let mut system = System::new(arch.config.clone());
+
+    // Characterize each mode with a representative run.
+    let instructions = 150_000;
+    let hp = system.run(duty.hp_workload.trace(instructions, 11), Mode::Hp);
+    let ule = system.run(duty.ule_workload.trace(instructions, 12), Mode::Ule);
+
+    // Power = energy / wall-clock time of the run, weighted by the
+    // duty-cycle split.
+    let hp_power_w = hp.energy.total_pj() * 1e-12 / hp.seconds;
+    let ule_power_w = ule.energy.total_pj() * 1e-12 / ule.seconds;
+    let avg = duty.hp_fraction * hp_power_w + (1.0 - duty.hp_fraction) * ule_power_w;
+    Ok(avg * 1e6)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Sensor-node duty-cycle study (scenario A: 6T+10T vs 6T+8T+SECDED)\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9} {:>13}",
+        "HP time", "baseline (uW)", "proposal (uW)", "saving", "battery gain"
+    );
+
+    // A 3.6kJ coin-cell-class budget for illustration (e.g. ~1000mAh
+    // at 1V equivalent).
+    let battery_j = 3600.0;
+
+    for hp_fraction in [0.0001, 0.001, 0.01] {
+        let duty = DutyCycle {
+            hp_fraction,
+            hp_workload: Benchmark::Mpeg2C, // event burst: heavy processing
+            ule_workload: Benchmark::AdpcmC, // monitoring: light streaming
+        };
+        let base = average_power_uw(DesignPoint::Baseline, &duty)?;
+        let prop = average_power_uw(DesignPoint::Proposal, &duty)?;
+        let saving = 1.0 - prop / base;
+        let base_days = battery_j / (base * 1e-6) / 86_400.0;
+        let prop_days = battery_j / (prop * 1e-6) / 86_400.0;
+        println!(
+            "{:>9.2}% {:>14.2} {:>14.2} {:>8.1}% {:>6.0} -> {:.0} d",
+            hp_fraction * 100.0,
+            base,
+            prop,
+            saving * 100.0,
+            base_days,
+            prop_days,
+        );
+    }
+
+    println!("\nThe battery-lifetime gain tracks the ULE-mode saving because the");
+    println!("node spends almost all wall-clock time at 350mV — exactly the");
+    println!("paper's motivation for optimizing the ULE way.");
+    Ok(())
+}
