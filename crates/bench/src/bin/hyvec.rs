@@ -1,9 +1,12 @@
 //! `hyvec` — unified command-line front-end for every experiment.
 //!
 //! ```text
-//! hyvec <command> [--instructions N] [--seed S]
+//! hyvec <command> [--instructions N] [--seed S] [--jobs J]
 //!
 //! commands:
+//!   run-all       the full evaluation matrix, fanned across cores
+//!                 with deterministic per-job seeds (the one entry
+//!                 point that regenerates every table and figure)
 //!   fig3          Figure 3: HP-mode EPI (scenarios A and B)
 //!   fig4          Figure 4: ULE-mode EPI breakdowns
 //!   methodology   Sec. III-C sizing/yield table
@@ -12,223 +15,103 @@
 //!   reliability   yields + fault-injection runs
 //!   soft-errors   hard faults + soft errors (DECTED vs SECDED)
 //!   ablations     way split, memory latency, granularity, voltage
-//!   all           everything above
+//!   all           alias of run-all
 //! ```
+//!
+//! Every command is a filtered view of the same sweep matrix, so a
+//! job's output is byte-identical whether it is produced by its
+//! single-artifact command, by `run-all`, serially or in parallel.
 
-use hyvec_bench::{breakdown_header, breakdown_row, pct};
-use hyvec_core::experiments::*;
-use hyvec_core::Scenario;
+use hyvec_core::experiments::ExperimentParams;
+use hyvec_core::sweep::{self, JobKind};
 use std::process::ExitCode;
 
-fn parse_args() -> Result<(String, ExperimentParams), String> {
+struct CliOptions {
+    params: ExperimentParams,
+    /// Worker threads; defaults to the core count.
+    jobs: usize,
+}
+
+fn parse_args() -> Result<(String, CliOptions), String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
-    let mut params = ExperimentParams::default();
+    let mut options = CliOptions {
+        params: ExperimentParams::default(),
+        jobs: sweep::default_jobs(),
+    };
     while let Some(flag) = args.next() {
         let value = args
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
             "--instructions" | "-n" => {
-                params.instructions = value
+                options.params.instructions = value
                     .parse()
                     .map_err(|e| format!("bad --instructions: {e}"))?;
             }
             "--seed" | "-s" => {
-                params.seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                options.params.seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--jobs" | "-j" => {
+                options.jobs = value.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok((command, params))
+    Ok((command, options))
 }
 
 fn usage() -> String {
-    "usage: hyvec <fig3|fig4|methodology|performance|area|reliability|soft-errors|ablations|all> \
-     [--instructions N] [--seed S]"
+    "usage: hyvec <run-all|fig3|fig4|methodology|performance|area|reliability|soft-errors\
+     |ablations|all> [--instructions N] [--seed S] [--jobs J]"
         .to_string()
 }
 
-fn fig3(params: ExperimentParams) {
-    println!("== Figure 3: HP-mode EPI (paper: 14% / 12% savings) ==");
-    for s in Scenario::ALL {
-        let r = fig3_hp_epi(s, params);
-        println!("scenario {s}:");
-        println!("{}", breakdown_header());
-        println!("{}", breakdown_row("  baseline", &r.baseline));
-        println!("{}", breakdown_row("  proposal", &r.proposal));
-        println!("  saving: {}", pct(r.saving));
-    }
-    println!();
-}
-
-fn fig4(params: ExperimentParams) {
-    println!("== Figure 4: ULE-mode EPI (paper: 42% / 39% savings) ==");
-    for s in Scenario::ALL {
-        let r = fig4_ule_epi(s, params);
-        println!("scenario {s}: average saving {}", pct(r.avg_saving));
-        for row in &r.rows {
-            println!(
-                "  {:<10} saving {}",
-                row.benchmark.to_string(),
-                pct(row.saving)
-            );
-        }
-    }
-    println!();
-}
-
-fn methodology() {
-    println!("== Methodology (Fig. 2): sizings and yields ==");
-    for d in methodology_table() {
-        println!(
-            "scenario {:?}: Pf {:.3e}; 6T x{:.2}, 10T x{:.2}, 8T x{:.2}; \
-             yield {:.6} -> {:.6} ({} iterations)",
-            d.scenario,
-            d.pf_target,
-            d.sizing_6t,
-            d.sizing_10t,
-            d.sizing_8t,
-            d.yield_baseline,
-            d.yield_proposal,
-            d.iterations
-        );
-    }
-    println!();
-}
-
-fn performance(params: ExperimentParams) {
-    println!("== ULE execution-time overhead (paper: ~3%) ==");
-    for s in Scenario::ALL {
-        let rows = ule_performance(s, params);
-        let avg: f64 = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
-        println!("scenario {s}: average {}", pct(avg));
-        for r in rows {
-            println!("  {:<10} {}", r.benchmark.to_string(), pct(r.overhead));
-        }
-    }
-    println!();
-}
-
-fn area() {
-    println!("== Area (IL1 + DL1) ==");
-    for s in Scenario::ALL {
-        let r = area_comparison(s);
-        println!(
-            "scenario {s}: {:.0} -> {:.0} um2 (saving {})",
-            r.baseline_um2,
-            r.proposal_um2,
-            pct(r.saving)
-        );
-    }
-    println!();
-}
-
-fn reliability_cmd(params: ExperimentParams) {
-    println!("== Reliability ==");
-    for s in Scenario::ALL {
-        let r = reliability(s, 100, params);
-        println!(
-            "scenario {s}: yields {:.6} (baseline) / {:.6} (proposal), MC {:.3}; \
-             corrected {}, silent {}, strawman silent {}",
-            r.analytic_baseline,
-            r.analytic_proposal,
-            r.mc_proposal,
-            r.proposal_corrected,
-            r.proposal_silent,
-            r.strawman_silent
-        );
-    }
-    println!();
-}
-
-fn soft_errors(params: ExperimentParams) {
-    println!("== Soft errors on hard faults (scenario B) ==");
-    let r = soft_error_study(params, 3e-8);
-    println!(
-        "SECDED: corrected {}, uncorrectable {}",
-        r.secded_corrected, r.secded_detected
-    );
-    println!(
-        "DECTED: corrected {}, uncorrectable {}",
-        r.dected_corrected, r.dected_detected
-    );
-    println!("silent under either: {}", r.silent);
-    println!();
-}
-
-fn ablations(params: ExperimentParams) {
-    println!("== Ablations ==");
-    for s in Scenario::ALL {
-        println!("scenario {s}: way splits");
-        for r in ablation_ways(s, params) {
-            println!(
-                "  {}+{}: HP {}, ULE {}",
-                r.hp_ways,
-                r.ule_ways,
-                pct(r.hp_saving),
-                pct(r.ule_saving)
-            );
-        }
-        println!("scenario {s}: memory latency");
-        for r in ablation_memory_latency(s, params) {
-            println!("  {} cycles: HP {}", r.latency, pct(r.hp_saving));
-        }
-        println!("scenario {s}: ULE voltage");
-        for r in ablation_voltage(s, params) {
-            println!(
-                "  {:.0} mV: 10T x{:.2}, 8T x{:.2}, ULE {}",
-                r.ule_vdd * 1000.0,
-                r.sizing_10t,
-                r.sizing_8t,
-                pct(r.ule_saving)
-            );
-        }
-    }
-    println!("protection granularity (scenario A):");
-    for r in ablation_granularity() {
-        println!(
-            "  {:>2}-bit words: overhead {}, 8T x{:.2}, bits x{:.3}",
-            r.word_bits,
-            pct(r.storage_overhead),
-            r.sizing_8t,
-            r.relative_bits
-        );
-    }
-    println!();
+/// Maps a command name to its job filter; `None` for unknown commands.
+#[allow(clippy::type_complexity)]
+fn job_filter(command: &str) -> Option<fn(JobKind) -> bool> {
+    Some(match command {
+        "run-all" | "all" => |_| true,
+        "methodology" => |k| matches!(k, JobKind::Methodology(_)),
+        "fig3" => |k| matches!(k, JobKind::Fig3(_)),
+        "fig4" => |k| matches!(k, JobKind::Fig4(_)),
+        "performance" => |k| matches!(k, JobKind::Performance(_)),
+        "area" => |k| matches!(k, JobKind::Area(_)),
+        "reliability" => |k| matches!(k, JobKind::Reliability(_)),
+        "soft-errors" => |k| matches!(k, JobKind::SoftErrors),
+        "ablations" => |k| {
+            matches!(
+                k,
+                JobKind::AblationWays(_)
+                    | JobKind::AblationMemoryLatency(_)
+                    | JobKind::AblationVoltage(_)
+                    | JobKind::AblationGranularity
+            )
+        },
+        _ => return None,
+    })
 }
 
 fn main() -> ExitCode {
-    let (command, params) = match parse_args() {
+    let (command, options) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    match command.as_str() {
-        "fig3" => fig3(params),
-        "fig4" => fig4(params),
-        "methodology" => methodology(),
-        "performance" => performance(params),
-        "area" => area(),
-        "reliability" => reliability_cmd(params),
-        "soft-errors" => soft_errors(params),
-        "ablations" => ablations(params),
-        "all" => {
-            methodology();
-            fig3(params);
-            fig4(params);
-            performance(params);
-            area();
-            reliability_cmd(params);
-            soft_errors(params);
-            ablations(params);
+    match job_filter(&command) {
+        Some(select) => {
+            let report = sweep::run_filtered(options.params, options.jobs, select);
+            print!("{}", report.render());
+            ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("unknown command {other}\n{}", usage());
-            return ExitCode::FAILURE;
+        None => {
+            eprintln!("unknown command {command}\n{}", usage());
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

@@ -22,36 +22,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hyvec_cachesim::EnergyBreakdown;
-
-/// Renders one normalized EPI breakdown as a table row.
-pub fn breakdown_row(label: &str, b: &EnergyBreakdown) -> String {
-    format!(
-        "{label:<24} {:>8.3} {:>8.3} {:>8.4} {:>8.3} {:>8.3}",
-        b.l1_dynamic_pj,
-        b.l1_leakage_pj,
-        b.edc_pj,
-        b.other_pj,
-        b.total_pj()
-    )
-}
-
-/// The header matching [`breakdown_row`].
-pub fn breakdown_header() -> String {
-    format!(
-        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "", "L1 dyn", "L1 leak", "EDC", "other", "total"
-    )
-}
-
-/// Formats a fraction as a percentage with one decimal.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", 100.0 * x)
-}
+// The render helpers moved next to the sweep engine so the parallel
+// runner can use them without a dependency cycle; re-exported here to
+// keep the seed's public API.
+pub use hyvec_core::sweep::{breakdown_header, breakdown_row, pct};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hyvec_cachesim::EnergyBreakdown;
 
     #[test]
     fn rows_render() {

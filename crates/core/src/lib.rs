@@ -48,6 +48,7 @@
 pub mod architecture;
 pub mod experiments;
 pub mod methodology;
+pub mod sweep;
 
 pub use architecture::{Architecture, DesignPoint, Scenario};
 pub use methodology::{MethodologyInputs, UleWayDesign};

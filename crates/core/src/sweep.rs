@@ -1,0 +1,561 @@
+//! Parallel batch experiment runner: the whole evaluation in one call.
+//!
+//! The paper's evaluation is a matrix — artifact (figure, table,
+//! ablation) × scenario — that the seed regenerated one binary at a
+//! time. This module enumerates that matrix as independent [`SweepJob`]s
+//! and fans them across worker threads with [`par_map`], a dependency-
+//! free scoped-thread work queue (the build environment has no registry
+//! access, so no rayon).
+//!
+//! # Determinism
+//!
+//! Each job owns a private RNG seed derived from the sweep's base seed
+//! and the job's stable label via SplitMix64 ([`derive_seed`]). Seeds
+//! therefore do not depend on worker count, scheduling order, or the
+//! position of a job in the matrix — two sweeps with the same base
+//! seed produce byte-identical reports, and a parallel sweep matches a
+//! serial one exactly. This invariant is enforced by the workspace's
+//! `tests/determinism.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use hyvec_core::experiments::ExperimentParams;
+//! use hyvec_core::sweep::run_all;
+//!
+//! let params = ExperimentParams { instructions: 2_000, seed: 1 };
+//! let serial = run_all(params, 1);
+//! let parallel = run_all(params, 4);
+//! assert_eq!(serial.render(), parallel.render());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::architecture::Scenario;
+use crate::experiments::{
+    ablation_granularity, ablation_memory_latency, ablation_voltage, ablation_ways,
+    area_comparison, fig3_hp_epi, fig4_ule_epi, reliability, soft_error_study, ule_performance,
+    ExperimentParams,
+};
+use crate::methodology::{design_ule_way, MethodologyInputs};
+use hyvec_cachesim::power::EnergyBreakdown;
+use hyvec_sram::failure::FailureModel;
+
+/// Monte-Carlo dies sampled by the reliability jobs (the standalone
+/// `table_reliability` binary samples 200 for a tighter estimate).
+const RELIABILITY_DIES: u32 = 100;
+
+/// Accelerated soft-error rate used by the soft-error job (matches the
+/// standalone `table_soft_errors` binary).
+const SOFT_ERROR_RATE: f64 = 3e-8;
+
+// ---------------------------------------------------------------------
+// Formatting helpers (shared with the hyvec_bench render layer)
+// ---------------------------------------------------------------------
+
+/// Renders one normalized EPI breakdown as a table row.
+pub fn breakdown_row(label: &str, b: &EnergyBreakdown) -> String {
+    format!(
+        "{label:<24} {:>8.3} {:>8.3} {:>8.4} {:>8.3} {:>8.3}",
+        b.l1_dynamic_pj,
+        b.l1_leakage_pj,
+        b.edc_pj,
+        b.other_pj,
+        b.total_pj()
+    )
+}
+
+/// The header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    format!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "L1 dyn", "L1 leak", "EDC", "other", "total"
+    )
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+// ---------------------------------------------------------------------
+// Job matrix
+// ---------------------------------------------------------------------
+
+/// One independent unit of the evaluation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Sec. III-C sizing/yield methodology for one scenario.
+    Methodology(Scenario),
+    /// Figure 3: HP-mode EPI for one scenario.
+    Fig3(Scenario),
+    /// Figure 4: ULE-mode EPI breakdowns for one scenario.
+    Fig4(Scenario),
+    /// Sec. IV-B.2 execution-time overhead for one scenario.
+    Performance(Scenario),
+    /// L1 area comparison for one scenario.
+    Area(Scenario),
+    /// Yields + fault injection for one scenario.
+    Reliability(Scenario),
+    /// Hard faults + soft errors, DECTED vs SECDED (scenario B).
+    SoftErrors,
+    /// 7+1 vs 6+2 way split for one scenario.
+    AblationWays(Scenario),
+    /// Memory-latency sweep for one scenario.
+    AblationMemoryLatency(Scenario),
+    /// ULE-voltage sweep for one scenario.
+    AblationVoltage(Scenario),
+    /// Protection-granularity analysis (scenario A).
+    AblationGranularity,
+}
+
+/// A scheduled job: what to run and the private seed it runs with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepJob {
+    /// The unit of work.
+    pub kind: JobKind,
+    /// Stable human-readable identifier (also the seed-derivation key).
+    pub label: String,
+    /// Run parameters with the job's derived private seed.
+    pub params: ExperimentParams,
+}
+
+impl JobKind {
+    /// Stable label of this job; doubles as its seed-derivation key,
+    /// so renaming a job (and nothing else) is the only way to change
+    /// its RNG stream.
+    pub fn label(self) -> String {
+        match self {
+            JobKind::Methodology(s) => format!("methodology/{s}"),
+            JobKind::Fig3(s) => format!("fig3/{s}"),
+            JobKind::Fig4(s) => format!("fig4/{s}"),
+            JobKind::Performance(s) => format!("performance/{s}"),
+            JobKind::Area(s) => format!("area/{s}"),
+            JobKind::Reliability(s) => format!("reliability/{s}"),
+            JobKind::SoftErrors => "soft-errors/B".to_string(),
+            JobKind::AblationWays(s) => format!("ablation-ways/{s}"),
+            JobKind::AblationMemoryLatency(s) => format!("ablation-memlat/{s}"),
+            JobKind::AblationVoltage(s) => format!("ablation-voltage/{s}"),
+            JobKind::AblationGranularity => "ablation-granularity/A".to_string(),
+        }
+    }
+}
+
+/// Enumerates the full evaluation matrix in canonical report order.
+pub fn full_matrix(params: ExperimentParams) -> Vec<SweepJob> {
+    let mut kinds = Vec::new();
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Methodology(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Fig3(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Fig4(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Performance(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Area(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::Reliability(s));
+    }
+    kinds.push(JobKind::SoftErrors);
+    for s in Scenario::ALL {
+        kinds.push(JobKind::AblationWays(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::AblationMemoryLatency(s));
+    }
+    for s in Scenario::ALL {
+        kinds.push(JobKind::AblationVoltage(s));
+    }
+    kinds.push(JobKind::AblationGranularity);
+
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let label = kind.label();
+            let seed = derive_seed(params.seed, &label);
+            SweepJob {
+                kind,
+                label,
+                params: ExperimentParams {
+                    instructions: params.instructions,
+                    seed,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Derives a job's private seed from the sweep base seed and the job's
+/// stable label: FNV-1a over the label, then a SplitMix64 finalizer so
+/// related base seeds still give unrelated streams.
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = base ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Parallel executor
+// ---------------------------------------------------------------------
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// returning results in input order. A panicking worker propagates its
+/// panic to the caller when the scope joins.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Default worker count: one per available core.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------------
+// Job execution and report rendering
+// ---------------------------------------------------------------------
+
+/// One rendered section of the sweep report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSection {
+    /// The job's stable label.
+    pub label: String,
+    /// The seed the job ran with.
+    pub seed: u64,
+    /// Rendered body.
+    pub body: String,
+}
+
+/// The full rendered evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Base parameters of the sweep (the seed is the *base* seed).
+    pub params: ExperimentParams,
+    /// Sections in canonical matrix order.
+    pub sections: Vec<SweepSection>,
+}
+
+impl SweepReport {
+    /// Renders the whole report as one deterministic string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "hyvec evaluation sweep: {} jobs, {} instructions/benchmark, base seed {}\n\n",
+            self.sections.len(),
+            self.params.instructions,
+            self.params.seed
+        ));
+        for section in &self.sections {
+            out.push_str(&format!(
+                "== {} (seed {:#018x}) ==\n",
+                section.label, section.seed
+            ));
+            out.push_str(&section.body);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs every job of the evaluation matrix on up to `jobs` worker
+/// threads and returns the assembled report.
+pub fn run_all(params: ExperimentParams, jobs: usize) -> SweepReport {
+    run_filtered(params, jobs, |_| true)
+}
+
+/// Runs the subset of the evaluation matrix selected by `select`, in
+/// canonical order, on up to `jobs` worker threads. Seeds are derived
+/// per job label, so a job's result is identical whether it runs in a
+/// full sweep or a filtered one.
+pub fn run_filtered(
+    params: ExperimentParams,
+    jobs: usize,
+    select: impl Fn(JobKind) -> bool,
+) -> SweepReport {
+    let matrix: Vec<SweepJob> = full_matrix(params)
+        .into_iter()
+        .filter(|job| select(job.kind))
+        .collect();
+    let sections = par_map(&matrix, jobs, |job| SweepSection {
+        label: job.label.clone(),
+        seed: job.params.seed,
+        body: run_job(job),
+    });
+    SweepReport { params, sections }
+}
+
+/// Executes one job and renders its section body.
+pub fn run_job(job: &SweepJob) -> String {
+    let p = job.params;
+    match job.kind {
+        JobKind::Methodology(s) => {
+            let d = design_ule_way(s, &FailureModel::default(), &MethodologyInputs::default())
+                .expect("default methodology converges");
+            format!(
+                "Pf target {:.3e}; sizings: 6T x{:.2}, 10T x{:.2}, 8T x{:.2}\n\
+                 yield {:.6} (baseline) -> {:.6} (proposal), {} sizing iterations\n",
+                d.pf_target,
+                d.sizing_6t,
+                d.sizing_10t,
+                d.sizing_8t,
+                d.yield_baseline,
+                d.yield_proposal,
+                d.iterations
+            )
+        }
+        JobKind::Fig3(s) => {
+            let r = fig3_hp_epi(s, p);
+            let mut out = format!("{}\n", breakdown_header());
+            out.push_str(&format!("{}\n", breakdown_row("baseline", &r.baseline)));
+            out.push_str(&format!("{}\n", breakdown_row("proposal", &r.proposal)));
+            out.push_str(&format!(
+                "HP EPI saving: {} (paper: ~14% A / ~12% B)\n",
+                pct(r.saving)
+            ));
+            out
+        }
+        JobKind::Fig4(s) => {
+            let r = fig4_ule_epi(s, p);
+            let mut out = String::new();
+            for row in &r.rows {
+                out.push_str(&format!(
+                    "{:<10} saving {}\n",
+                    row.benchmark.to_string(),
+                    pct(row.saving)
+                ));
+            }
+            out.push_str(&format!(
+                "average ULE saving: {} (paper: ~42% A / ~39% B)\n",
+                pct(r.avg_saving)
+            ));
+            out
+        }
+        JobKind::Performance(s) => {
+            let rows = ule_performance(s, p);
+            let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+            let mut out = String::new();
+            for r in &rows {
+                out.push_str(&format!(
+                    "{:<10} {:>10} -> {:>10} cycles ({})\n",
+                    r.benchmark.to_string(),
+                    r.baseline_cycles,
+                    r.proposal_cycles,
+                    pct(r.overhead)
+                ));
+            }
+            out.push_str(&format!("average overhead: {} (paper: ~3%)\n", pct(avg)));
+            out
+        }
+        JobKind::Area(s) => {
+            let r = area_comparison(s);
+            format!(
+                "L1 (IL1+DL1): {:.0} -> {:.0} um2 (saving {})\n\
+                 ULE way alone: {:.0} -> {:.0} um2\n",
+                r.baseline_um2,
+                r.proposal_um2,
+                pct(r.saving),
+                r.ule_way_baseline_um2,
+                r.ule_way_proposal_um2
+            )
+        }
+        JobKind::Reliability(s) => {
+            let r = reliability(s, RELIABILITY_DIES, p);
+            format!(
+                "analytic yield: {:.6} (baseline) / {:.6} (proposal); MC over {} dies: {:.3}\n\
+                 fault injection: corrected {}, silent {} (must be 0), strawman silent {}\n",
+                r.analytic_baseline,
+                r.analytic_proposal,
+                r.dies,
+                r.mc_proposal,
+                r.proposal_corrected,
+                r.proposal_silent,
+                r.strawman_silent
+            )
+        }
+        JobKind::SoftErrors => {
+            let r = soft_error_study(p, SOFT_ERROR_RATE);
+            format!(
+                "SECDED: corrected {}, uncorrectable {}\n\
+                 DECTED: corrected {}, uncorrectable {}\n\
+                 silent under either: {} (must be 0)\n",
+                r.secded_corrected,
+                r.secded_detected,
+                r.dected_corrected,
+                r.dected_detected,
+                r.silent
+            )
+        }
+        JobKind::AblationWays(s) => {
+            let mut out = String::new();
+            for r in ablation_ways(s, p) {
+                out.push_str(&format!(
+                    "{}+{}: HP {}, ULE {}\n",
+                    r.hp_ways,
+                    r.ule_ways,
+                    pct(r.hp_saving),
+                    pct(r.ule_saving)
+                ));
+            }
+            out
+        }
+        JobKind::AblationMemoryLatency(s) => {
+            let mut out = String::new();
+            for r in ablation_memory_latency(s, p) {
+                out.push_str(&format!(
+                    "{:>3} cycles: HP {}\n",
+                    r.latency,
+                    pct(r.hp_saving)
+                ));
+            }
+            out
+        }
+        JobKind::AblationVoltage(s) => {
+            let mut out = String::new();
+            for r in ablation_voltage(s, p) {
+                out.push_str(&format!(
+                    "{:.0} mV: 10T x{:.2}, 8T x{:.2}, ULE saving {}\n",
+                    r.ule_vdd * 1000.0,
+                    r.sizing_10t,
+                    r.sizing_8t,
+                    pct(r.ule_saving)
+                ));
+            }
+            out
+        }
+        JobKind::AblationGranularity => {
+            let mut out = String::new();
+            for r in ablation_granularity() {
+                out.push_str(&format!(
+                    "{:>2}-bit words: overhead {}, 8T x{:.2}, bits x{:.3}\n",
+                    r.word_bits,
+                    pct(r.storage_overhead),
+                    r.sizing_8t,
+                    r.relative_bits
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_artifact_for_every_scenario() {
+        let jobs = full_matrix(ExperimentParams::default());
+        assert_eq!(jobs.len(), 20);
+        for s in Scenario::ALL {
+            for prefix in [
+                "methodology",
+                "fig3",
+                "fig4",
+                "performance",
+                "area",
+                "reliability",
+                "ablation-ways",
+                "ablation-memlat",
+                "ablation-voltage",
+            ] {
+                let label = format!("{prefix}/{s}");
+                assert!(
+                    jobs.iter().any(|j| j.label == label),
+                    "matrix is missing {label}"
+                );
+            }
+        }
+        assert!(jobs.iter().any(|j| j.label == "soft-errors/B"));
+        assert!(jobs.iter().any(|j| j.label == "ablation-granularity/A"));
+    }
+
+    #[test]
+    fn labels_are_unique_and_seeds_differ() {
+        let jobs = full_matrix(ExperimentParams::default());
+        let mut labels: Vec<_> = jobs.iter().map(|j| j.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), jobs.len(), "duplicate job labels");
+        let mut seeds: Vec<_> = jobs.iter().map(|j| j.params.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), jobs.len(), "derived seeds collide");
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_keyed_on_base_and_label() {
+        assert_eq!(derive_seed(1, "fig3/A"), derive_seed(1, "fig3/A"));
+        assert_ne!(derive_seed(1, "fig3/A"), derive_seed(2, "fig3/A"));
+        assert_ne!(derive_seed(1, "fig3/A"), derive_seed(1, "fig3/B"));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate worker counts.
+        assert_eq!(par_map(&items, 1, |&x| x + 1)[96], 97);
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn par_map_runs_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counters: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        par_map(&items, 6, |&i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "item {i} ran a wrong number of times"
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Regression tests for the sweep engine's determinism contract:
+//! reports are a pure function of (base seed, instruction count), and
+//! worker count is not observable in the output.
+
+use hyvec_core::experiments::ExperimentParams;
+use hyvec_core::sweep::{full_matrix, run_all};
+
+fn quick() -> ExperimentParams {
+    ExperimentParams {
+        instructions: 2_000,
+        seed: 0xD47E_2013,
+    }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_reports() {
+    let first = run_all(quick(), 1);
+    let second = run_all(quick(), 1);
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "two sweeps with the same base seed must render identically"
+    );
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep() {
+    let serial = run_all(quick(), 1);
+    for jobs in [2, 8] {
+        let parallel = run_all(quick(), jobs);
+        assert_eq!(
+            serial.render(),
+            parallel.render(),
+            "worker count {jobs} changed the report"
+        );
+    }
+}
+
+#[test]
+fn different_base_seeds_give_different_reports() {
+    let a = run_all(quick(), 4);
+    let b = run_all(
+        ExperimentParams {
+            seed: quick().seed + 1,
+            ..quick()
+        },
+        4,
+    );
+    assert_ne!(
+        a.render(),
+        b.render(),
+        "the base seed must actually reach the experiments"
+    );
+}
+
+#[test]
+fn report_sections_follow_canonical_matrix_order() {
+    let report = run_all(quick(), 4);
+    let labels: Vec<_> = report.sections.iter().map(|s| s.label.clone()).collect();
+    let expected: Vec<_> = full_matrix(quick()).into_iter().map(|j| j.label).collect();
+    assert_eq!(labels, expected, "sections must keep matrix order");
+}

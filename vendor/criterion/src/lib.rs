@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace
+//! uses: wall-clock measurement of `b.iter(..)` closures with adaptive
+//! iteration counts, grouped benchmarks, and optional element
+//! throughput reporting.
+//!
+//! Statistical machinery (outlier analysis, HTML reports) is out of
+//! scope; each benchmark reports its best-of-samples mean time per
+//! iteration, which is what the workspace's perf tracking consumes.
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! closure runs exactly once so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work is quantified for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement driver handed to every benchmark closure.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Measured mean nanoseconds per iteration, written by `iter`.
+    measured_ns: &'a mut f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run once, no timing.
+    SmokeTest,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::SmokeTest {
+            black_box(routine());
+            *self.measured_ns = 0.0;
+            return;
+        }
+        // Calibrate: find an iteration count taking >= ~5ms.
+        let mut iters: u64 = 1;
+        let per_iter_estimate = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        // Measure: several samples, keep the best (least-noise) mean.
+        let sample_iters = ((25_000_000.0 / per_iter_estimate.max(0.5)) as u64).clamp(1, 1 << 24);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            let mean = start.elapsed().as_nanos() as f64 / sample_iters as f64;
+            best = best.min(mean);
+        }
+        *self.measured_ns = best;
+    }
+}
+
+/// Top-level benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    mode: Option<Mode>,
+}
+
+impl Criterion {
+    fn mode(&mut self) -> Mode {
+        *self.mode.get_or_insert_with(|| {
+            if std::env::args().any(|a| a == "--test") {
+                Mode::SmokeTest
+            } else {
+                Mode::Measure
+            }
+        })
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mode = self.mode();
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            mode,
+            measured_ns: &mut ns,
+        };
+        f(&mut b);
+        match mode {
+            Mode::SmokeTest => println!("{id:<44} ok (smoke test)"),
+            Mode::Measure => {
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>12.1} Melem/s", n as f64 / ns * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:>12.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                    }
+                    None => String::new(),
+                };
+                println!("{id:<44} {:>12.2} ns/iter{rate}", ns);
+            }
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<'a>(&'a mut self, name: &str) -> BenchmarkGroup<'a> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and optional
+/// throughput definition.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            mode: Mode::SmokeTest,
+            measured_ns: &mut ns,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(ns, 0.0);
+    }
+
+    #[test]
+    fn measure_mode_produces_a_time() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            measured_ns: &mut ns,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(ns.is_finite() && ns >= 0.0);
+    }
+}
