@@ -1,24 +1,13 @@
 //! Ablation A3: protection granularity — SECDED over 8/16/32-bit
-//! words (the paper protects 32-bit data words; this quantifies why).
+//! words. Finer words tolerate more total faults (smaller cells) but
+//! pay proportionally more check-bit storage; 32-bit words balance
+//! the two.
+//!
+//! Thin shell over the `ablation-granularity/A` experiment of the
+//! registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::ablation_granularity;
+use std::process::ExitCode;
 
-fn main() {
-    println!("Protection-granularity ablation (scenario A, SECDED, 7 check bits/word)\n");
-    println!(
-        "{:<10} {:>12} {:>9} {:>14}",
-        "word bits", "overhead", "8T size", "relative bits"
-    );
-    for r in ablation_granularity() {
-        println!(
-            "{:<10} {:>12} {:>9.2} {:>14.3}",
-            r.word_bits,
-            pct(r.storage_overhead),
-            r.sizing_8t,
-            r.relative_bits
-        );
-    }
-    println!("\nFiner words tolerate more total faults (smaller cells) but pay");
-    println!("proportionally more check-bit storage; 32-bit words balance the two.");
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_granularity", &["ablation-granularity"])
 }

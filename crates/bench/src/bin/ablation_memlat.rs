@@ -1,18 +1,11 @@
 //! Ablation A2: memory-latency sweep (paper Sec. IV-A: "other memory
 //! latencies do not change the trends").
+//!
+//! Thin shell over the `ablation-memlat/*` experiments of the
+//! registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::{ablation_memory_latency, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    for s in Scenario::ALL {
-        println!("Scenario {s}: memory-latency ablation (HP mode)");
-        println!("{:<10} {:>10}", "latency", "HP save");
-        for r in ablation_memory_latency(s, params) {
-            println!("{:<10} {:>10}", r.latency, pct(r.hp_saving));
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_memlat", &["ablation-memlat"])
 }

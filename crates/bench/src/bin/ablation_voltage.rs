@@ -1,27 +1,11 @@
 //! Ablation A4: ULE-voltage sweep — the proposal's advantage across
 //! the NST range ("not limited to any particular Vcc level").
+//!
+//! Thin shell over the `ablation-voltage/*` experiments of the
+//! registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::{ablation_voltage, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    for s in Scenario::ALL {
-        println!("Scenario {s}: ULE-voltage sweep");
-        println!(
-            "{:>8} {:>9} {:>9} {:>10}",
-            "Vcc(mV)", "10T size", "8T size", "ULE save"
-        );
-        for r in ablation_voltage(s, params) {
-            println!(
-                "{:>8.0} {:>9.2} {:>9.2} {:>10}",
-                r.ule_vdd * 1000.0,
-                r.sizing_10t,
-                r.sizing_8t,
-                pct(r.ule_saving)
-            );
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_voltage", &["ablation-voltage"])
 }

@@ -1,25 +1,10 @@
 //! Ablation A1: 7+1 vs 6+2 way split (paper Sec. IV-A: "did not
-//! provide further insights").
+//! provide further insights" — both splits preserve the savings).
+//!
+//! Thin shell over the `ablation-ways/*` experiments of the registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::{ablation_ways, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    for s in Scenario::ALL {
-        println!("Scenario {s}: way-split ablation");
-        println!("{:<8} {:>10} {:>10}", "split", "HP save", "ULE save");
-        for r in ablation_ways(s, params) {
-            println!(
-                "{:<8} {:>10} {:>10}",
-                format!("{}+{}", r.hp_ways, r.ule_ways),
-                pct(r.hp_saving),
-                pct(r.ule_saving)
-            );
-        }
-        println!();
-    }
-    println!("Both splits preserve the savings — consistent with the paper's");
-    println!("decision to report only the 7+1 configuration.");
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_ways", &["ablation-ways"])
 }

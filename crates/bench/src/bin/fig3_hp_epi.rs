@@ -1,25 +1,12 @@
 //! Regenerates Figure 3: normalized average EPI at HP mode for
-//! scenarios A and B (BigBench, 1V/1GHz, all 8 ways active).
+//! scenarios A and B (BigBench, 1V/1GHz, all 8 ways active). Paper:
+//! savings of ~14% (scenario A) and ~12% (scenario B).
+//!
+//! Thin shell over the `fig3/*` experiments of the standard registry;
+//! supports the shared flags (`--format json`, `--filter fig3/A`, ...).
 
-use hyvec_bench::{breakdown_header, breakdown_row, pct};
-use hyvec_core::experiments::{fig3_hp_epi, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    println!("Figure 3 — normalized average EPI at HP mode (BigBench)");
-    println!("paper: savings of 14% (scenario A) and 12% (scenario B)\n");
-    for s in Scenario::ALL {
-        let r = fig3_hp_epi(s, params);
-        println!("Scenario {s}:");
-        println!("{}", breakdown_header());
-        println!("{}", breakdown_row("  baseline", &r.baseline));
-        println!("{}", breakdown_row("  proposal", &r.proposal));
-        println!("  average EPI saving: {}", pct(r.saving));
-        println!("  per-benchmark normalized EPI (proposal/baseline):");
-        for (b, ratio) in &r.per_benchmark {
-            println!("    {:<10} {:.3}", b.to_string(), ratio);
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("fig3_hp_epi", &["fig3"])
 }

@@ -1,28 +1,11 @@
 //! Regenerates Figure 4: normalized EPI breakdowns at ULE mode for
-//! scenarios A and B (SmallBench, 350mV/5MHz, ULE way only).
+//! scenarios A and B (SmallBench, 350mV/5MHz, ULE way only). Paper:
+//! average savings of ~42% (scenario A) and ~39% (scenario B).
+//!
+//! Thin shell over the `fig4/*` experiments of the standard registry.
 
-use hyvec_bench::{breakdown_header, breakdown_row, pct};
-use hyvec_core::experiments::{fig4_ule_epi, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    println!("Figure 4 — normalized EPI breakdowns at ULE mode (SmallBench)");
-    println!("paper: average savings of 42% (scenario A) and 39% (scenario B)\n");
-    for s in Scenario::ALL {
-        let r = fig4_ule_epi(s, params);
-        println!("Scenario {s}:");
-        println!("{}", breakdown_header());
-        for row in &r.rows {
-            println!(
-                "{}",
-                breakdown_row(&format!("  {} baseline", row.benchmark), &row.baseline)
-            );
-            println!(
-                "{}",
-                breakdown_row(&format!("  {} proposal", row.benchmark), &row.proposal)
-            );
-        }
-        println!("  average EPI saving: {}\n", pct(r.avg_saving));
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("fig4_ule_epi", &["fig4"])
 }

@@ -2,116 +2,115 @@
 //!
 //! ```text
 //! hyvec <command> [--instructions N] [--seed S] [--jobs J]
+//!                 [--format text|json|csv] [--filter GLOB] [--bench-out PATH]
 //!
 //! commands:
 //!   run-all       the full evaluation matrix, fanned across cores
 //!                 with deterministic per-job seeds (the one entry
-//!                 point that regenerates every table and figure)
+//!                 point that regenerates every table and figure);
+//!                 also writes the BENCH_sweep.json perf artifact
+//!   list          print the experiment ids the registry knows
 //!   fig3          Figure 3: HP-mode EPI (scenarios A and B)
 //!   fig4          Figure 4: ULE-mode EPI breakdowns
 //!   methodology   Sec. III-C sizing/yield table
-//!   performance   ULE execution-time overhead
+//!   performance   Sec. IV-B.2 execution-time overhead
 //!   area          L1 area comparison
-//!   reliability   yields + fault-injection runs
+//!   reliability   yields + fault injection
 //!   soft-errors   hard faults + soft errors (DECTED vs SECDED)
 //!   ablations     way split, memory latency, granularity, voltage
 //!   all           alias of run-all
 //! ```
 //!
-//! Every command is a filtered view of the same sweep matrix, so a
-//! job's output is byte-identical whether it is produced by its
+//! Every command is a filtered view of the same registry-driven sweep,
+//! so a job's output is byte-identical whether it is produced by its
 //! single-artifact command, by `run-all`, serially or in parallel.
+//! `--filter` narrows any command by glob over experiment ids
+//! (e.g. `--filter 'fig*/A'`); `--format` selects the render backend.
 
-use hyvec_core::experiments::ExperimentParams;
-use hyvec_core::sweep::{self, JobKind};
 use std::process::ExitCode;
 
-struct CliOptions {
-    params: ExperimentParams,
-    /// Worker threads; defaults to the core count.
-    jobs: usize,
-}
+use hyvec_bench::cli::{parse_flags, sweep_for, CliOptions, FLAGS_USAGE};
+use hyvec_core::registry::Registry;
+use hyvec_core::render::render;
 
-fn parse_args() -> Result<(String, CliOptions), String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or_else(usage)?;
-    let mut options = CliOptions {
-        params: ExperimentParams::default(),
-        jobs: sweep::default_jobs(),
-    };
-    while let Some(flag) = args.next() {
-        let value = args
-            .next()
-            .ok_or_else(|| format!("flag {flag} needs a value"))?;
-        match flag.as_str() {
-            "--instructions" | "-n" => {
-                options.params.instructions = value
-                    .parse()
-                    .map_err(|e| format!("bad --instructions: {e}"))?;
-            }
-            "--seed" | "-s" => {
-                options.params.seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?;
-            }
-            "--jobs" | "-j" => {
-                options.jobs = value.parse().map_err(|e| format!("bad --jobs: {e}"))?;
-                if options.jobs == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-            }
-            other => return Err(format!("unknown flag {other}\n{}", usage())),
-        }
-    }
-    Ok((command, options))
-}
-
-fn usage() -> String {
-    "usage: hyvec <run-all|fig3|fig4|methodology|performance|area|reliability|soft-errors\
-     |ablations|all> [--instructions N] [--seed S] [--jobs J]"
-        .to_string()
-}
-
-/// Maps a command name to its job filter; `None` for unknown commands.
-#[allow(clippy::type_complexity)]
-fn job_filter(command: &str) -> Option<fn(JobKind) -> bool> {
+/// Artifact families of each named command; `None` = the full matrix.
+fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
-        "run-all" | "all" => |_| true,
-        "methodology" => |k| matches!(k, JobKind::Methodology(_)),
-        "fig3" => |k| matches!(k, JobKind::Fig3(_)),
-        "fig4" => |k| matches!(k, JobKind::Fig4(_)),
-        "performance" => |k| matches!(k, JobKind::Performance(_)),
-        "area" => |k| matches!(k, JobKind::Area(_)),
-        "reliability" => |k| matches!(k, JobKind::Reliability(_)),
-        "soft-errors" => |k| matches!(k, JobKind::SoftErrors),
-        "ablations" => |k| {
-            matches!(
-                k,
-                JobKind::AblationWays(_)
-                    | JobKind::AblationMemoryLatency(_)
-                    | JobKind::AblationVoltage(_)
-                    | JobKind::AblationGranularity
-            )
-        },
+        "run-all" | "all" => &[],
+        "methodology" => &["methodology"],
+        "fig3" => &["fig3"],
+        "fig4" => &["fig4"],
+        "performance" => &["performance"],
+        "area" => &["area"],
+        "reliability" => &["reliability"],
+        "soft-errors" => &["soft-errors"],
+        "ablations" => &[
+            "ablation-ways",
+            "ablation-memlat",
+            "ablation-voltage",
+            "ablation-granularity",
+        ],
         _ => return None,
     })
 }
 
+fn usage() -> String {
+    format!(
+        "usage: hyvec <run-all|list|fig3|fig4|methodology|performance|area|reliability\
+         |soft-errors|ablations|all> {FLAGS_USAGE} [--bench-out PATH]"
+    )
+}
+
+/// `hyvec list`: the registered experiment ids, optionally filtered.
+fn list(options: &CliOptions) -> ExitCode {
+    let builder = sweep_for(options, &[]);
+    for id in Registry::standard().ids() {
+        if builder.selects(id) {
+            println!("{id}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let (command, options) = match parse_args() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
-    match job_filter(&command) {
-        Some(select) => {
-            let report = sweep::run_filtered(options.params, options.jobs, select);
-            print!("{}", report.render());
-            ExitCode::SUCCESS
+    let options = match parse_flags(args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
         }
-        None => {
-            eprintln!("unknown command {command}\n{}", usage());
-            ExitCode::FAILURE
+    };
+    if command == "list" {
+        return list(&options);
+    }
+    let Some(artifacts) = command_artifacts(&command) else {
+        eprintln!("unknown command {command}\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let outcome = sweep_for(&options, artifacts).run();
+    print!("{}", render(&outcome.report, options.format));
+
+    // Per-job wall times feed the perf trajectory; they are kept out
+    // of the report so rendered output stays deterministic. run-all
+    // always writes them; other commands only on explicit --bench-out.
+    let default_bench =
+        (command == "run-all" || command == "all").then(|| "BENCH_sweep.json".to_string());
+    if let Some(path) = options.bench_out.clone().or(default_bench) {
+        match hyvec_bench::cli::write_bench(&outcome, &path) {
+            Ok(()) => eprintln!("wrote per-job wall times to {path}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }

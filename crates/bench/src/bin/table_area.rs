@@ -1,33 +1,12 @@
 //! Regenerates the area comparison (the paper claims energy *and*
-//! area efficiency, Sec. I/V).
+//! area efficiency, Sec. I/V): replacing the heavily sized 10T ULE
+//! way with modestly sized 8T cells saves area even after paying for
+//! the EDC check-bit columns.
+//!
+//! Thin shell over the `area/*` experiments of the registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::area_comparison;
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    println!("L1 area comparison (IL1 + DL1, 8KB 7+1 each)\n");
-    println!(
-        "{:<9} {:>14} {:>14} {:>9} {:>16} {:>16}",
-        "scenario",
-        "baseline um2",
-        "proposal um2",
-        "saving",
-        "ULE way base um2",
-        "ULE way prop um2"
-    );
-    for s in Scenario::ALL {
-        let r = area_comparison(s);
-        println!(
-            "{:<9} {:>14.0} {:>14.0} {:>9} {:>16.1} {:>16.1}",
-            format!("{s}"),
-            r.baseline_um2,
-            r.proposal_um2,
-            pct(r.saving),
-            r.ule_way_baseline_um2,
-            r.ule_way_proposal_um2
-        );
-    }
-    println!("\nReplacing the heavily sized 10T ULE way with modestly sized 8T cells");
-    println!("saves area even after paying for the EDC check-bit columns.");
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("table_area", &["area"])
 }

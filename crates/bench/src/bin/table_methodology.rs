@@ -1,39 +1,11 @@
 //! Regenerates the Sec. III-C design-methodology table: failure-rate
 //! anchor, cell sizings and yields for both scenarios (Fig. 2 loop).
+//! Paper anchor: Pf = 1.22e-6 for 99% yield over the 8K-bit example.
+//!
+//! Thin shell over the `methodology/*` experiments of the registry.
 
-use hyvec_core::experiments::methodology_table;
+use std::process::ExitCode;
 
-fn main() {
-    println!("Design methodology (paper Sec. III-C / Fig. 2)");
-    println!("paper anchor: Pf = 1.22e-6 for 99% yield over the 8K-bit example\n");
-    println!(
-        "{:<9} {:>11} {:>8} {:>9} {:>11} {:>11} {:>8} {:>11} {:>11} {:>6}",
-        "scenario",
-        "Pf anchor",
-        "6T size",
-        "10T size",
-        "Pf(10T)",
-        "Y baseline",
-        "8T size",
-        "Pf(8T)",
-        "Y proposal",
-        "iters"
-    );
-    for d in methodology_table() {
-        println!(
-            "{:<9} {:>11.3e} {:>8.2} {:>9.2} {:>11.3e} {:>11.6} {:>8.2} {:>11.3e} {:>11.6} {:>6}",
-            format!("{:?}", d.scenario),
-            d.pf_target,
-            d.sizing_6t,
-            d.sizing_10t,
-            d.pf_10t,
-            d.yield_baseline,
-            d.sizing_8t,
-            d.pf_8t,
-            d.yield_proposal,
-            d.iterations
-        );
-    }
-    println!("\nThe EDC-protected 8T cells stay far smaller than the 10T cells at");
-    println!("equal (or better) yield — the premise of the paper's energy savings.");
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("table_methodology", &["methodology"])
 }

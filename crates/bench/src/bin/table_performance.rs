@@ -1,32 +1,11 @@
 //! Regenerates the Sec. IV-B.2 performance result: execution-time
-//! overhead of the proposal at ULE mode ("around 3%... in all cases").
+//! overhead of the proposal at ULE mode (paper: "around 3%... in all
+//! cases", from the extra EDC cycle).
+//!
+//! Thin shell over the `performance/*` experiments of the registry.
 
-use hyvec_bench::pct;
-use hyvec_core::experiments::{ule_performance, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    println!("ULE-mode execution time (SmallBench): proposal vs baseline");
-    println!("paper: up to ~3% increase from the extra EDC cycle\n");
-    for s in Scenario::ALL {
-        println!("Scenario {s}:");
-        println!(
-            "{:<12} {:>14} {:>14} {:>9}",
-            "benchmark", "baseline cyc", "proposal cyc", "overhead"
-        );
-        let rows = ule_performance(s, params);
-        let mut sum = 0.0;
-        for r in &rows {
-            println!(
-                "{:<12} {:>14} {:>14} {:>9}",
-                r.benchmark.to_string(),
-                r.baseline_cycles,
-                r.proposal_cycles,
-                pct(r.overhead)
-            );
-            sum += r.overhead;
-        }
-        println!("{:<12} {:>38}\n", "average", pct(sum / rows.len() as f64));
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("table_performance", &["performance"])
 }

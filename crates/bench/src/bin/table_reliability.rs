@@ -1,30 +1,11 @@
 //! Regenerates the reliability-equivalence evidence: analytic yields,
-//! Monte-Carlo die sampling, and functional fault-injection runs.
+//! Monte-Carlo die sampling, and functional fault-injection runs
+//! ("same guaranteed reliability levels").
+//!
+//! Thin shell over the `reliability/*` experiments of the registry.
 
-use hyvec_core::experiments::{reliability, ExperimentParams};
-use hyvec_core::Scenario;
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    println!("Reliability equivalence (\"same guaranteed reliability levels\")\n");
-    for s in Scenario::ALL {
-        let r = reliability(s, 200, params);
-        println!("Scenario {s}:");
-        println!(
-            "  analytic yield     baseline {:.6}  proposal {:.6}",
-            r.analytic_baseline, r.analytic_proposal
-        );
-        println!(
-            "  Monte-Carlo yield  proposal {:.4} over {} dies",
-            r.mc_proposal, r.dies
-        );
-        println!(
-            "  functional runs    corrected {}  silent corruptions {} (must be 0)",
-            r.proposal_corrected, r.proposal_silent
-        );
-        println!(
-            "  no-EDC strawman    silent corruptions {} (the failure EDC prevents)\n",
-            r.strawman_silent
-        );
-    }
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("table_reliability", &["reliability"])
 }

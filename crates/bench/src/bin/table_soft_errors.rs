@@ -1,31 +1,13 @@
 //! E7: soft errors on top of hard faults — the functional case for
-//! DECTED in scenario B ("DECTED can correct both a soft error and a
-//! hard faulty bit in the same word").
+//! DECTED in scenario B. SECDED words already holding a hard fault
+//! cannot absorb a soft error (detection only); DECTED keeps
+//! correcting — the reliability argument for scenario B's code
+//! upgrade.
+//!
+//! Thin shell over the `soft-errors/B` experiment of the registry.
 
-use hyvec_core::experiments::{soft_error_study, ExperimentParams};
+use std::process::ExitCode;
 
-fn main() {
-    let params = ExperimentParams::default();
-    // Accelerated upset rate so a short run observes many events.
-    let r = soft_error_study(params, 3e-8);
-    println!("Hard faults at the design rate + accelerated soft errors (ULE mode)\n");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "protection on faulty 8T way", "corrected", "uncorrectable"
-    );
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "SECDED (scenario-B baseline)", r.secded_corrected, r.secded_detected
-    );
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "DECTED (scenario-B proposal)", r.dected_corrected, r.dected_detected
-    );
-    println!(
-        "\nsilent corruptions under either code: {} (both at least detect)",
-        r.silent
-    );
-    println!("\nSECDED words already holding a hard fault cannot absorb a soft");
-    println!("error (detection only); DECTED keeps correcting — the reliability");
-    println!("argument for scenario B's code upgrade.");
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("table_soft_errors", &["soft-errors"])
 }

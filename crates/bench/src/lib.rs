@@ -11,20 +11,26 @@
 //! | `table_performance` | Sec. IV-B.2 execution-time overhead |
 //! | `table_area` | area comparison |
 //! | `table_reliability` | reliability equivalence (yields + fault injection) |
+//! | `table_soft_errors` | hard faults + soft errors, DECTED vs SECDED |
 //! | `ablation_ways` | 7+1 vs 6+2 way split |
 //! | `ablation_memlat` | memory-latency sweep |
+//! | `ablation_voltage` | ULE-voltage sweep |
 //! | `ablation_granularity` | protection-granularity analysis |
 //!
-//! The `benches/` directory holds Criterion micro-benchmarks of the
-//! substrates (EDC throughput, simulator speed, yield math, trace
-//! generation).
+//! Every binary — including the unified `hyvec` front-end — is a thin
+//! shell over the [`cli`] module: experiments are selected from the
+//! standard registry, run by the core sweep engine, and rendered by
+//! the shared text/JSON/CSV backends (`--format`). The `benches/`
+//! directory holds Criterion micro-benchmarks of the substrates (EDC
+//! throughput, simulator speed, yield math, trace generation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-// The render helpers moved next to the sweep engine so the parallel
-// runner can use them without a dependency cycle; re-exported here to
-// keep the seed's public API.
+pub mod cli;
+
+// The render helpers live next to the sweep engine; re-exported here
+// to keep the seed's public API.
 pub use hyvec_core::sweep::{breakdown_header, breakdown_row, pct};
 
 #[cfg(test)]

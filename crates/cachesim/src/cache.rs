@@ -133,7 +133,7 @@ impl HybridCache {
     /// Panics if the configuration is invalid (see
     /// [`CacheConfig::validate`]).
     pub fn new(config: CacheConfig, mode: Mode) -> Self {
-        config.validate();
+        config.validate_or_panic();
         let sets = config.sets();
         let words = config.words_per_line();
         let ways = config

@@ -1,8 +1,82 @@
 //! Configuration types for the hybrid cache and the simulated system.
 
+use std::error::Error;
+use std::fmt;
+
 use hyvec_cachemodel::{OperatingPoint, TechnologyParams};
 use hyvec_edc::Protection;
 use hyvec_sram::{CellKind, SizedCell};
+
+/// Why a [`CacheConfig`] is not a valid hybrid-cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The way list is empty.
+    NoWays,
+    /// `size_bytes` does not divide into whole lines per way.
+    SizeNotDivisible {
+        /// Configured capacity.
+        size_bytes: u64,
+        /// Configured line size.
+        line_bytes: u64,
+        /// Configured associativity.
+        ways: usize,
+    },
+    /// The set count is not a power of two (the index function
+    /// requires it).
+    SetsNotPowerOfTwo {
+        /// The offending set count.
+        sets: u64,
+    },
+    /// The line size is not a power of two.
+    LineNotPowerOfTwo {
+        /// The offending line size.
+        line_bytes: u64,
+    },
+    /// The line does not hold a whole number of protected words.
+    LineNotWholeWords {
+        /// Configured line size in bits.
+        line_bits: u64,
+        /// Configured protected-word width.
+        word_bits: u32,
+    },
+    /// No way is ULE-enabled, so the cache cannot operate at ULE mode.
+    NoUleWay,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoWays => write!(f, "cache needs at least one way"),
+            ConfigError::SizeNotDivisible {
+                size_bytes,
+                line_bytes,
+                ways,
+            } => write!(
+                f,
+                "size must divide into lines and ways \
+                 ({size_bytes}B / {line_bytes}B lines / {ways} ways)"
+            ),
+            ConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "sets must be a power of two (got {sets})")
+            }
+            ConfigError::LineNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size must be a power of two (got {line_bytes}B)")
+            }
+            ConfigError::LineNotWholeWords {
+                line_bits,
+                word_bits,
+            } => write!(
+                f,
+                "line must hold whole words ({line_bits} line bits, {word_bits}-bit words)"
+            ),
+            ConfigError::NoUleWay => {
+                write!(f, "at least one ULE way required for hybrid operation")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// The two operating modes of the paper's platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,31 +213,53 @@ impl CacheConfig {
         self.sets()
     }
 
-    /// Validates the geometry.
+    /// Validates the geometry, reporting the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ways.is_empty() {
+            return Err(ConfigError::NoWays);
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.ways.len() as u64)
+        {
+            return Err(ConfigError::SizeNotDivisible {
+                size_bytes: self.size_bytes,
+                line_bytes: self.line_bytes,
+                ways: self.ways.len(),
+            });
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(ConfigError::SetsNotPowerOfTwo { sets: self.sets() });
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
+        }
+        if !(self.line_bytes * 8).is_multiple_of(u64::from(self.word_bits)) {
+            return Err(ConfigError::LineNotWholeWords {
+                line_bits: self.line_bytes * 8,
+                word_bits: self.word_bits,
+            });
+        }
+        if !self.ways.iter().any(|w| w.ule_enabled) {
+            return Err(ConfigError::NoUleWay);
+        }
+        Ok(())
+    }
+
+    /// The historical panicking form of [`CacheConfig::validate`], for
+    /// call sites that treat an invalid geometry as a programming
+    /// error.
     ///
     /// # Panics
     ///
-    /// Panics if sizes are not powers of two or do not divide evenly.
-    pub fn validate(&self) {
-        assert!(!self.ways.is_empty(), "cache needs at least one way");
-        assert!(
-            self.size_bytes
-                .is_multiple_of(self.line_bytes * self.ways.len() as u64),
-            "size must divide into lines and ways"
-        );
-        assert!(self.sets().is_power_of_two(), "sets must be a power of two");
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(
-            (self.line_bytes * 8).is_multiple_of(u64::from(self.word_bits)),
-            "line must hold whole words"
-        );
-        assert!(
-            self.ways.iter().any(|w| w.ule_enabled),
-            "at least one ULE way required for hybrid operation"
-        );
+    /// Panics with the [`ConfigError`] message if the geometry is
+    /// invalid.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid cache config: {e}");
+        }
     }
 }
 
@@ -224,7 +320,7 @@ mod tests {
     #[test]
     fn paper_geometry() {
         let cfg = SystemConfig::uniform_6t();
-        cfg.il1.validate();
+        cfg.il1.validate().expect("paper geometry is valid");
         assert_eq!(cfg.il1.sets(), 32);
         assert_eq!(cfg.il1.words_per_line(), 8);
         assert_eq!(cfg.il1.data_words_per_way(), 256);
@@ -258,9 +354,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ULE way required")]
     fn validate_requires_ule_way() {
         let cfg = CacheConfig::l1_8kb(vec![WaySpec::hp_way(1.0, Protection::None); 8]);
-        cfg.validate();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoUleWay));
+    }
+
+    #[test]
+    fn validate_reports_each_geometry_violation() {
+        let valid = SystemConfig::uniform_6t().il1;
+
+        let mut no_ways = valid.clone();
+        no_ways.ways.clear();
+        assert_eq!(no_ways.validate(), Err(ConfigError::NoWays));
+
+        let mut odd_size = valid.clone();
+        odd_size.size_bytes = 8 * 1024 + 32;
+        assert_eq!(
+            odd_size.validate(),
+            Err(ConfigError::SizeNotDivisible {
+                size_bytes: 8 * 1024 + 32,
+                line_bytes: 32,
+                ways: 8,
+            })
+        );
+
+        let mut three_words = valid.clone();
+        three_words.word_bits = 48;
+        assert_eq!(
+            three_words.validate(),
+            Err(ConfigError::LineNotWholeWords {
+                line_bits: 256,
+                word_bits: 48,
+            })
+        );
+        // The error message keeps the historical assertion wording.
+        assert!(ConfigError::NoUleWay
+            .to_string()
+            .contains("ULE way required"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ULE way required")]
+    fn validate_or_panic_keeps_the_old_contract() {
+        let cfg = CacheConfig::l1_8kb(vec![WaySpec::hp_way(1.0, Protection::None); 8]);
+        cfg.validate_or_panic();
     }
 }

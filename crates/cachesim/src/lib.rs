@@ -49,7 +49,7 @@ pub mod power;
 pub mod stats;
 
 pub use cache::HybridCache;
-pub use config::{CacheConfig, Mode, SystemConfig, WaySpec};
+pub use config::{CacheConfig, ConfigError, Mode, SystemConfig, WaySpec};
 pub use engine::{RunReport, System};
 pub use power::EnergyBreakdown;
 pub use stats::{CacheStats, RunStats};

@@ -63,6 +63,19 @@ impl EnergyBreakdown {
             other_pj: self.other_pj * factor,
         }
     }
+
+    /// The breakdown as `(machine key, display name, value)` triples,
+    /// in the canonical Figure 3/4 column order. Structured emission
+    /// for the report layer: a new component added here flows into
+    /// every renderer without touching per-artifact formatting code.
+    pub fn components(&self) -> [(&'static str, &'static str, f64); 4] {
+        [
+            ("l1_dynamic_pj", "L1 dyn", self.l1_dynamic_pj),
+            ("l1_leakage_pj", "L1 leak", self.l1_leakage_pj),
+            ("edc_pj", "EDC", self.edc_pj),
+            ("other_pj", "other", self.other_pj),
+        ]
+    }
 }
 
 /// Per-way array models for one cache.

@@ -41,6 +41,22 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// The counters as `(machine key, value)` pairs, in declaration
+    /// order. Structured emission for the report layer.
+    pub fn counters(&self) -> [(&'static str, u64); 9] {
+        [
+            ("accesses", self.accesses),
+            ("writes", self.writes),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("fills", self.fills),
+            ("writebacks", self.writebacks),
+            ("corrected", self.corrected),
+            ("detected", self.detected),
+            ("silent_corruptions", self.silent_corruptions),
+        ]
+    }
 }
 
 /// Timing statistics of one simulation run.
@@ -86,6 +102,18 @@ impl RunStats {
     pub fn silent_corruptions(&self) -> u64 {
         self.il1.silent_corruptions + self.dl1.silent_corruptions
     }
+
+    /// The run-level counters as `(machine key, value)` pairs (the
+    /// per-cache counters are reachable via [`CacheStats::counters`]).
+    pub fn counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("instructions", self.instructions),
+            ("cycles", self.cycles),
+            ("il1_stall_cycles", self.il1_stall_cycles),
+            ("dl1_stall_cycles", self.dl1_stall_cycles),
+            ("edc_stall_cycles", self.edc_stall_cycles),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +139,30 @@ mod tests {
         };
         assert!((s.miss_ratio() - 0.02).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_mirror_the_fields() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 9,
+            misses: 1,
+            ..Default::default()
+        };
+        let c = s.counters();
+        assert_eq!(c[0], ("accesses", 10));
+        assert_eq!(c[2], ("hits", 9));
+        let mut keys: Vec<_> = c.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), c.len(), "duplicate counter keys");
+        let r = RunStats {
+            instructions: 5,
+            cycles: 7,
+            ..Default::default()
+        };
+        assert_eq!(r.counters()[0], ("instructions", 5));
+        assert_eq!(r.counters()[1], ("cycles", 7));
     }
 
     #[test]

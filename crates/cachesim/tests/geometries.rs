@@ -33,7 +33,7 @@ fn config(size_bytes: u64, line_bytes: u64, hp_ways: usize, ule_ways: usize) -> 
 #[test]
 fn two_way_hybrid_works() {
     let cfg = config(4 * 1024, 32, 1, 1);
-    cfg.validate();
+    cfg.validate().expect("valid geometry");
     let mut cache = HybridCache::new(cfg, Mode::Hp);
     assert_eq!(cache.config().sets(), 64);
     let sets = cache.config().sets();
@@ -49,7 +49,7 @@ fn direct_mapped_ule_only_cache() {
     // A 1-way cache whose single way is the ULE way: the degenerate
     // direct-mapped organization.
     let cfg = config(1024, 32, 0, 1);
-    cfg.validate();
+    cfg.validate().expect("valid geometry");
     let mut cache = HybridCache::new(cfg, Mode::Ule);
     assert_eq!(cache.config().sets(), 32);
     assert_eq!(cache.enabled_ways(), 1);
@@ -66,7 +66,7 @@ fn sixteen_way_fully_associative_like_cache() {
     // 16 ways of 32B lines over 512B: a single set — fully
     // associative.
     let cfg = config(512, 32, 15, 1);
-    cfg.validate();
+    cfg.validate().expect("valid geometry");
     assert_eq!(cfg.sets(), 1);
     let mut cache = HybridCache::new(cfg, Mode::Hp);
     // 16 distinct lines all fit.
@@ -87,7 +87,7 @@ fn sixteen_way_fully_associative_like_cache() {
 #[test]
 fn sixty_four_byte_lines_work() {
     let cfg = config(8 * 1024, 64, 7, 1);
-    cfg.validate();
+    cfg.validate().expect("valid geometry");
     assert_eq!(cfg.words_per_line(), 16);
     let mut cache = HybridCache::new(cfg, Mode::Hp);
     cache.access(0, false);

@@ -168,8 +168,8 @@ impl Architecture {
         // The uncore's always-on 10T arrays share the ULE-way sizing
         // in baseline and proposal alike.
         config.uncore_ten_t_sizing = design.sizing_10t;
-        config.il1.validate();
-        config.dl1.validate();
+        config.il1.validate_or_panic();
+        config.dl1.validate_or_panic();
 
         Ok(Architecture {
             scenario,
@@ -211,7 +211,7 @@ mod tests {
         for s in Scenario::ALL {
             for p in DesignPoint::ALL {
                 let arch = Architecture::build(s, p).expect("build");
-                arch.config.il1.validate();
+                arch.config.il1.validate().expect("built configs are valid");
                 assert_eq!(arch.config.il1.ways.len(), 8);
                 assert_eq!(arch.config.il1.sets(), 32);
                 let ule_ways = arch
@@ -273,7 +273,7 @@ mod tests {
                 .count(),
             2
         );
-        arch.config.il1.validate();
+        arch.config.il1.validate().expect("built configs are valid");
     }
 
     #[test]

@@ -45,6 +45,14 @@ impl Default for ExperimentParams {
     }
 }
 
+impl ExperimentParams {
+    /// The same parameters with a different seed (used by the sweep to
+    /// hand each [`Experiment`] its derived private seed).
+    pub fn with_seed(self, seed: u64) -> ExperimentParams {
+        ExperimentParams { seed, ..self }
+    }
+}
+
 /// Runs `benchmarks` on `arch` at `mode`, returning the summed energy
 /// breakdown, instructions and cycles.
 fn run_suite(
@@ -715,6 +723,467 @@ pub fn ablation_granularity() -> Vec<GranularityRow> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// The Experiment trait: every artifact as a typed-report producer
+// ---------------------------------------------------------------------
+
+use crate::report::{Cell, Column, Report, Section, Table};
+
+/// Monte-Carlo dies sampled by the reliability experiment. One
+/// setting for every entry point (sweep, `hyvec reliability`, the
+/// standalone binary), so the section stays byte-stable across them;
+/// call [`reliability`] directly for a tighter custom estimate.
+pub const RELIABILITY_DIES: u32 = 100;
+
+/// Accelerated soft-error rate used by the sweep's soft-error job.
+pub const SOFT_ERROR_RATE: f64 = 3e-8;
+
+/// One artifact × scenario cell of the paper's evaluation matrix,
+/// behind a uniform interface: a stable id and a run method that
+/// returns a typed [`Report`].
+///
+/// Implementations wrap the free experiment functions of this module
+/// ([`fig3_hp_epi`], [`reliability`], ...) and convert their bespoke
+/// result structs into report tables; the sweep engine
+/// ([`crate::sweep`]) only ever sees this trait, so new artifacts
+/// plug in by registering an implementation
+/// ([`crate::registry::Registry`]) — no closed enum to extend.
+pub trait Experiment: Send + Sync {
+    /// Stable `"artifact/scenario"` identifier (e.g. `"fig3/A"`).
+    /// Doubles as the seed-derivation key ([`crate::seed`]): renaming
+    /// an experiment is the only way to change its RNG stream.
+    fn id(&self) -> &str;
+
+    /// Runs the experiment with `rng_seed` as its private trace/RNG
+    /// seed (`params.seed` is the sweep's *base* seed and is recorded
+    /// in the returned report, not consumed). Returns a report with
+    /// one section labeled [`Experiment::id`].
+    fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report;
+}
+
+/// Builds the single-section report every experiment returns.
+fn single_section(id: &str, params: ExperimentParams, rng_seed: u64, tables: Vec<Table>) -> Report {
+    let mut section = Section::new(id, rng_seed);
+    section.extend(tables);
+    Report::single(params.instructions, params.seed, section)
+}
+
+/// The normalized-EPI breakdown matrix of Figures 3 and 4, columns
+/// driven by [`EnergyBreakdown::components`] so new energy components
+/// flow into every renderer automatically.
+fn breakdown_table(rows: &[(&str, &EnergyBreakdown)]) -> Table {
+    let mut t = Table::new("epi")
+        .with_header()
+        .column(Column::new("design").left(24));
+    for (key, header, _) in rows[0].1.components() {
+        t.push_column(Column::new(key).header(header).right(8).prefix(" "));
+    }
+    t.push_column(Column::new("total_pj").header("total").right(8).prefix(" "));
+    for (label, b) in rows {
+        let mut cells = vec![Cell::str(*label)];
+        for (key, _, value) in b.components() {
+            // The EDC adder is an order of magnitude below the array
+            // energies; one extra decimal keeps it legible.
+            let precision = if key == "edc_pj" { 4 } else { 3 };
+            cells.push(Cell::float(value, precision));
+        }
+        cells.push(Cell::float(b.total_pj(), 3));
+        t.push_row(cells);
+    }
+    t
+}
+
+impl Fig3Result {
+    /// The result as report tables: the breakdown matrix and saving
+    /// line the text report shows, plus the per-benchmark normalized
+    /// EPI as a text-hidden table so JSON/CSV carry the full figure.
+    pub fn tables(&self) -> Vec<Table> {
+        let epi = breakdown_table(&[("baseline", &self.baseline), ("proposal", &self.proposal)]);
+        let mut saving = Table::new("saving")
+            .row_suffix(" (paper: ~14% A / ~12% B)")
+            .column(Column::new("saving").prefix("HP EPI saving: "));
+        saving.push_row(vec![Cell::percent(self.saving)]);
+        let mut per_benchmark = Table::new("per_benchmark")
+            .hidden_in_text()
+            .column(Column::new("benchmark"))
+            .column(Column::new("normalized_epi"));
+        for (b, ratio) in &self.per_benchmark {
+            per_benchmark.push_row(vec![Cell::str(b.to_string()), Cell::float(*ratio, 3)]);
+        }
+        vec![epi, saving, per_benchmark]
+    }
+}
+
+impl Fig4Result {
+    /// The result as report tables (per-benchmark savings + average).
+    pub fn tables(&self) -> Vec<Table> {
+        let mut savings = Table::new("savings")
+            .column(Column::new("benchmark").left(10))
+            .column(Column::new("saving").prefix(" saving "));
+        for row in &self.rows {
+            savings.push_row(vec![
+                Cell::str(row.benchmark.to_string()),
+                Cell::percent(row.saving),
+            ]);
+        }
+        let mut average = Table::new("average")
+            .row_suffix(" (paper: ~42% A / ~39% B)")
+            .column(Column::new("avg_saving").prefix("average ULE saving: "));
+        average.push_row(vec![Cell::percent(self.avg_saving)]);
+        // The actual content of Figure 4 — per-benchmark normalized
+        // EPI breakdowns — never appeared in the text sweep report;
+        // carry it for the structured formats.
+        let mut breakdowns = Table::new("breakdowns")
+            .hidden_in_text()
+            .column(Column::new("benchmark"))
+            .column(Column::new("design"));
+        for (key, _, _) in EnergyBreakdown::default().components() {
+            breakdowns.push_column(Column::new(key));
+        }
+        breakdowns.push_column(Column::new("total_pj"));
+        for row in &self.rows {
+            for (design, b) in [("baseline", &row.baseline), ("proposal", &row.proposal)] {
+                let mut cells = vec![Cell::str(row.benchmark.to_string()), Cell::str(design)];
+                for (_, _, value) in b.components() {
+                    cells.push(Cell::float(value, 4));
+                }
+                cells.push(Cell::float(b.total_pj(), 4));
+                breakdowns.push_row(cells);
+            }
+        }
+        vec![savings, average, breakdowns]
+    }
+}
+
+fn methodology_tables(d: &UleWayDesign) -> Vec<Table> {
+    let mut sizing = Table::new("sizing")
+        .column(Column::new("pf_target").prefix("Pf target "))
+        .column(Column::new("sizing_6t").prefix("; sizings: 6T x"))
+        .column(Column::new("sizing_10t").prefix(", 10T x"))
+        .column(Column::new("sizing_8t").prefix(", 8T x"));
+    sizing.push_row(vec![
+        Cell::sci(d.pf_target, 3),
+        Cell::float(d.sizing_6t, 2),
+        Cell::float(d.sizing_10t, 2),
+        Cell::float(d.sizing_8t, 2),
+    ]);
+    let mut yields = Table::new("yield")
+        .row_suffix(" sizing iterations")
+        .column(Column::new("yield_baseline").prefix("yield "))
+        .column(Column::new("yield_proposal").prefix(" (baseline) -> "))
+        .column(Column::new("iterations").prefix(" (proposal), "));
+    yields.push_row(vec![
+        Cell::float(d.yield_baseline, 6),
+        Cell::float(d.yield_proposal, 6),
+        Cell::int(d.iterations),
+    ]);
+    vec![sizing, yields]
+}
+
+fn performance_tables(rows: &[PerfRow]) -> Vec<Table> {
+    let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+    let mut cycles = Table::new("cycles")
+        .row_suffix(")")
+        .column(Column::new("benchmark").left(10))
+        .column(Column::new("baseline_cycles").right(10).prefix(" "))
+        .column(Column::new("proposal_cycles").right(10).prefix(" -> "))
+        .column(Column::new("overhead").prefix(" cycles ("));
+    for r in rows {
+        cycles.push_row(vec![
+            Cell::str(r.benchmark.to_string()),
+            Cell::int(r.baseline_cycles as i64),
+            Cell::int(r.proposal_cycles as i64),
+            Cell::percent(r.overhead),
+        ]);
+    }
+    let mut average = Table::new("average")
+        .row_suffix(" (paper: ~3%)")
+        .column(Column::new("avg_overhead").prefix("average overhead: "));
+    average.push_row(vec![Cell::percent(avg)]);
+    vec![cycles, average]
+}
+
+impl AreaResult {
+    /// The result as report tables (L1 totals + ULE-way close-up).
+    pub fn tables(&self) -> Vec<Table> {
+        let mut l1 = Table::new("l1")
+            .row_suffix(")")
+            .column(Column::new("baseline_um2").prefix("L1 (IL1+DL1): "))
+            .column(Column::new("proposal_um2").prefix(" -> "))
+            .column(Column::new("saving").prefix(" um2 (saving "));
+        l1.push_row(vec![
+            Cell::float(self.baseline_um2, 0),
+            Cell::float(self.proposal_um2, 0),
+            Cell::percent(self.saving),
+        ]);
+        let mut ule = Table::new("ule_way")
+            .row_suffix(" um2")
+            .column(Column::new("baseline_um2").prefix("ULE way alone: "))
+            .column(Column::new("proposal_um2").prefix(" -> "));
+        ule.push_row(vec![
+            Cell::float(self.ule_way_baseline_um2, 0),
+            Cell::float(self.ule_way_proposal_um2, 0),
+        ]);
+        vec![l1, ule]
+    }
+}
+
+impl ReliabilityResult {
+    /// The result as report tables (yields + fault-injection counts).
+    pub fn tables(&self) -> Vec<Table> {
+        let mut yields = Table::new("yield")
+            .column(Column::new("analytic_baseline").prefix("analytic yield: "))
+            .column(Column::new("analytic_proposal").prefix(" (baseline) / "))
+            .column(Column::new("dies").prefix(" (proposal); MC over "))
+            .column(Column::new("mc_proposal").prefix(" dies: "));
+        yields.push_row(vec![
+            Cell::float(self.analytic_baseline, 6),
+            Cell::float(self.analytic_proposal, 6),
+            Cell::int(self.dies),
+            Cell::float(self.mc_proposal, 3),
+        ]);
+        let mut faults = Table::new("fault_injection")
+            .column(Column::new("corrected").prefix("fault injection: corrected "))
+            .column(Column::new("silent").prefix(", silent "))
+            .column(Column::new("strawman_silent").prefix(" (must be 0), strawman silent "));
+        faults.push_row(vec![
+            Cell::int(self.proposal_corrected as i64),
+            Cell::int(self.proposal_silent as i64),
+            Cell::int(self.strawman_silent as i64),
+        ]);
+        vec![yields, faults]
+    }
+}
+
+impl SoftErrorResult {
+    /// The result as report tables (per-code counts + silent total).
+    pub fn tables(&self) -> Vec<Table> {
+        let mut secded = Table::new("secded")
+            .column(Column::new("corrected").prefix("SECDED: corrected "))
+            .column(Column::new("detected").prefix(", uncorrectable "));
+        secded.push_row(vec![
+            Cell::int(self.secded_corrected as i64),
+            Cell::int(self.secded_detected as i64),
+        ]);
+        let mut dected = Table::new("dected")
+            .column(Column::new("corrected").prefix("DECTED: corrected "))
+            .column(Column::new("detected").prefix(", uncorrectable "));
+        dected.push_row(vec![
+            Cell::int(self.dected_corrected as i64),
+            Cell::int(self.dected_detected as i64),
+        ]);
+        let mut silent = Table::new("silent")
+            .row_suffix(" (must be 0)")
+            .column(Column::new("silent").prefix("silent under either: "));
+        silent.push_row(vec![Cell::int(self.silent as i64)]);
+        vec![secded, dected, silent]
+    }
+}
+
+fn ways_table(rows: &[WaySplitRow]) -> Table {
+    let mut t = Table::new("splits")
+        .column(Column::new("hp_ways"))
+        .column(Column::new("ule_ways").prefix("+"))
+        .column(Column::new("hp_saving").prefix(": HP "))
+        .column(Column::new("ule_saving").prefix(", ULE "));
+    for r in rows {
+        t.push_row(vec![
+            Cell::int(r.hp_ways as i64),
+            Cell::int(r.ule_ways as i64),
+            Cell::percent(r.hp_saving),
+            Cell::percent(r.ule_saving),
+        ]);
+    }
+    t
+}
+
+fn memlat_table(rows: &[MemLatRow]) -> Table {
+    let mut t = Table::new("latency")
+        .column(Column::new("latency").right(3))
+        .column(Column::new("hp_saving").prefix(" cycles: HP "));
+    for r in rows {
+        t.push_row(vec![Cell::int(r.latency), Cell::percent(r.hp_saving)]);
+    }
+    t
+}
+
+fn voltage_table(rows: &[VoltageRow]) -> Table {
+    let mut t = Table::new("voltage")
+        .column(Column::new("ule_vdd_mv"))
+        .column(Column::new("sizing_10t").prefix(" mV: 10T x"))
+        .column(Column::new("sizing_8t").prefix(", 8T x"))
+        .column(Column::new("ule_saving").prefix(", ULE saving "));
+    for r in rows {
+        t.push_row(vec![
+            Cell::float(r.ule_vdd * 1000.0, 0),
+            Cell::float(r.sizing_10t, 2),
+            Cell::float(r.sizing_8t, 2),
+            Cell::percent(r.ule_saving),
+        ]);
+    }
+    t
+}
+
+fn granularity_table(rows: &[GranularityRow]) -> Table {
+    let mut t = Table::new("granularity")
+        .column(Column::new("word_bits").right(2))
+        .column(Column::new("storage_overhead").prefix("-bit words: overhead "))
+        .column(Column::new("sizing_8t").prefix(", 8T x"))
+        .column(Column::new("relative_bits").prefix(", bits x"));
+    for r in rows {
+        t.push_row(vec![
+            Cell::int(r.word_bits),
+            Cell::percent(r.storage_overhead),
+            Cell::float(r.sizing_8t, 2),
+            Cell::float(r.relative_bits, 3),
+        ]);
+    }
+    t
+}
+
+/// Declares a scenario-parameterized experiment wrapper struct.
+macro_rules! scenario_experiment {
+    ($(#[$meta:meta])* $name:ident, $artifact:literal, |$self_:ident, $p:ident| $body:expr) => {
+        $(#[$meta])*
+        pub struct $name {
+            scenario: Scenario,
+            id: String,
+        }
+
+        impl $name {
+            /// The experiment for `scenario`.
+            pub fn new(scenario: Scenario) -> Self {
+                Self {
+                    scenario,
+                    id: format!(concat!($artifact, "/{}"), scenario),
+                }
+            }
+
+            /// The scenario this instance evaluates.
+            pub fn scenario(&self) -> Scenario {
+                self.scenario
+            }
+        }
+
+        impl Experiment for $name {
+            fn id(&self) -> &str {
+                &self.id
+            }
+
+            fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
+                let $self_ = self;
+                let $p = params.with_seed(rng_seed);
+                single_section(&self.id, params, rng_seed, $body)
+            }
+        }
+    };
+}
+
+scenario_experiment!(
+    /// Sec. III-C sizing/yield methodology as an [`Experiment`].
+    MethodologyExperiment,
+    "methodology",
+    |e, _p| {
+        let d = design_ule_way(
+            e.scenario,
+            &FailureModel::default(),
+            &MethodologyInputs::default(),
+        )
+        .expect("default methodology converges");
+        methodology_tables(&d)
+    }
+);
+
+scenario_experiment!(
+    /// Figure 3 (HP-mode EPI) as an [`Experiment`].
+    Fig3Experiment,
+    "fig3",
+    |e, p| fig3_hp_epi(e.scenario, p).tables()
+);
+
+scenario_experiment!(
+    /// Figure 4 (ULE-mode EPI breakdowns) as an [`Experiment`].
+    Fig4Experiment,
+    "fig4",
+    |e, p| fig4_ule_epi(e.scenario, p).tables()
+);
+
+scenario_experiment!(
+    /// Sec. IV-B.2 execution-time overhead as an [`Experiment`].
+    PerformanceExperiment,
+    "performance",
+    |e, p| performance_tables(&ule_performance(e.scenario, p))
+);
+
+scenario_experiment!(
+    /// The L1 area comparison as an [`Experiment`].
+    AreaExperiment,
+    "area",
+    |e, _p| area_comparison(e.scenario).tables()
+);
+
+scenario_experiment!(
+    /// Yields + fault injection as an [`Experiment`].
+    ReliabilityExperiment,
+    "reliability",
+    |e, p| reliability(e.scenario, RELIABILITY_DIES, p).tables()
+);
+
+scenario_experiment!(
+    /// The 7+1 vs 6+2 way-split ablation as an [`Experiment`].
+    AblationWaysExperiment,
+    "ablation-ways",
+    |e, p| vec![ways_table(&ablation_ways(e.scenario, p))]
+);
+
+scenario_experiment!(
+    /// The memory-latency ablation as an [`Experiment`].
+    AblationMemoryLatencyExperiment,
+    "ablation-memlat",
+    |e, p| vec![memlat_table(&ablation_memory_latency(e.scenario, p))]
+);
+
+scenario_experiment!(
+    /// The ULE-voltage ablation as an [`Experiment`].
+    AblationVoltageExperiment,
+    "ablation-voltage",
+    |e, p| vec![voltage_table(&ablation_voltage(e.scenario, p))]
+);
+
+/// Hard faults + soft errors (DECTED vs SECDED, scenario B) as an
+/// [`Experiment`].
+pub struct SoftErrorExperiment;
+
+impl Experiment for SoftErrorExperiment {
+    fn id(&self) -> &str {
+        "soft-errors/B"
+    }
+
+    fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
+        let r = soft_error_study(params.with_seed(rng_seed), SOFT_ERROR_RATE);
+        single_section(self.id(), params, rng_seed, r.tables())
+    }
+}
+
+/// The protection-granularity ablation (scenario A) as an
+/// [`Experiment`].
+pub struct AblationGranularityExperiment;
+
+impl Experiment for AblationGranularityExperiment {
+    fn id(&self) -> &str {
+        "ablation-granularity/A"
+    }
+
+    fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
+        single_section(
+            self.id(),
+            params,
+            rng_seed,
+            vec![granularity_table(&ablation_granularity())],
+        )
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,12 @@
 //! * [`architecture::Architecture`] — turns a scenario + design point
 //!   into a simulatable [`hyvec_cachesim::SystemConfig`];
 //! * [`experiments`] — regenerates every figure and table of the
-//!   paper's evaluation (see `DESIGN.md` for the experiment index).
+//!   paper's evaluation (see `DESIGN.md` for the experiment index),
+//!   each behind the [`experiments::Experiment`] trait;
+//! * [`registry`] + [`sweep`] — the open experiment registry and the
+//!   parallel sweep runner that enumerates jobs from it;
+//! * [`report`] + [`render`] — the typed result documents every
+//!   experiment produces, and the text/JSON/CSV backends.
 //!
 //! # Quickstart
 //!
@@ -48,7 +53,16 @@
 pub mod architecture;
 pub mod experiments;
 pub mod methodology;
+pub mod registry;
+pub mod render;
+pub mod report;
+pub mod seed;
 pub mod sweep;
 
 pub use architecture::{Architecture, DesignPoint, Scenario};
+pub use experiments::Experiment;
 pub use methodology::{MethodologyInputs, UleWayDesign};
+pub use registry::Registry;
+pub use render::{Format, Render};
+pub use report::{Report, Section, Table};
+pub use sweep::SweepBuilder;

@@ -1,0 +1,188 @@
+//! The experiment registry: the open-ended successor of the old
+//! closed `JobKind` enum.
+//!
+//! A [`Registry`] owns a list of [`Experiment`] implementations in
+//! canonical report order. The sweep engine ([`crate::sweep`])
+//! enumerates jobs from whatever is registered, so adding an artifact
+//! to the evaluation is one [`Registry::register`] call — no enum to
+//! extend, no executor match arm, no renderer change.
+//!
+//! [`Registry::standard`] registers the paper's full evaluation
+//! matrix (every artifact × scenario cell, 20 experiments).
+
+use crate::architecture::Scenario;
+use crate::experiments::{
+    AblationGranularityExperiment, AblationMemoryLatencyExperiment, AblationVoltageExperiment,
+    AblationWaysExperiment, AreaExperiment, Experiment, Fig3Experiment, Fig4Experiment,
+    MethodologyExperiment, PerformanceExperiment, ReliabilityExperiment, SoftErrorExperiment,
+};
+
+/// An ordered collection of registered experiments.
+#[derive(Default)]
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            experiments: Vec::new(),
+        }
+    }
+
+    /// The paper's full evaluation matrix in canonical report order
+    /// (per-scenario artifacts enumerate scenarios in
+    /// [`Scenario::ALL`] order).
+    pub fn standard() -> Registry {
+        let mut r = Registry::new();
+        for s in Scenario::ALL {
+            r.register(Box::new(MethodologyExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(Fig3Experiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(Fig4Experiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(PerformanceExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AreaExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(ReliabilityExperiment::new(s)));
+        }
+        r.register(Box::new(SoftErrorExperiment));
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationWaysExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationMemoryLatencyExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationVoltageExperiment::new(s)));
+        }
+        r.register(Box::new(AblationGranularityExperiment));
+        r
+    }
+
+    /// Appends an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an experiment with the same id is already registered
+    /// (duplicate ids would collide in seed derivation and reports).
+    pub fn register(&mut self, experiment: Box<dyn Experiment>) {
+        assert!(
+            self.get(experiment.id()).is_none(),
+            "duplicate experiment id {:?}",
+            experiment.id()
+        );
+        self.experiments.push(experiment);
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// The registered ids, in registration (= report) order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.experiments.iter().map(|e| e.id()).collect()
+    }
+
+    /// Looks an experiment up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Experiment> {
+        self.experiments
+            .iter()
+            .find(|e| e.id() == id)
+            .map(|e| e.as_ref())
+    }
+
+    /// Iterates the registered experiments in order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.iter().map(|e| e.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentParams;
+    use crate::report::Report;
+
+    #[test]
+    fn standard_registry_covers_the_matrix() {
+        let r = Registry::standard();
+        assert_eq!(r.len(), 20);
+        for s in Scenario::ALL {
+            for prefix in [
+                "methodology",
+                "fig3",
+                "fig4",
+                "performance",
+                "area",
+                "reliability",
+                "ablation-ways",
+                "ablation-memlat",
+                "ablation-voltage",
+            ] {
+                let id = format!("{prefix}/{s}");
+                assert!(r.get(&id).is_some(), "registry is missing {id}");
+            }
+        }
+        assert!(r.get("soft-errors/B").is_some());
+        assert!(r.get("ablation-granularity/A").is_some());
+        assert!(r.get("fig5/A").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let registry = Registry::standard();
+        let mut ids = registry.ids();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment id")]
+    fn duplicate_registration_is_rejected() {
+        let mut r = Registry::new();
+        r.register(Box::new(SoftErrorExperiment));
+        r.register(Box::new(SoftErrorExperiment));
+    }
+
+    #[test]
+    fn registry_is_open_for_extension() {
+        struct Custom;
+        impl Experiment for Custom {
+            fn id(&self) -> &str {
+                "custom/A"
+            }
+            fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
+                Report::single(
+                    params.instructions,
+                    params.seed,
+                    crate::report::Section::new(self.id(), rng_seed),
+                )
+            }
+        }
+        let mut r = Registry::new();
+        r.register(Box::new(Custom));
+        assert_eq!(r.ids(), vec!["custom/A"]);
+        let report = r
+            .get("custom/A")
+            .unwrap()
+            .run(ExperimentParams::default(), 9);
+        assert_eq!(report.sections[0].label, "custom/A");
+        assert_eq!(report.sections[0].seed, 9);
+    }
+}

@@ -2,57 +2,56 @@
 //!
 //! The paper's evaluation is a matrix — artifact (figure, table,
 //! ablation) × scenario — that the seed regenerated one binary at a
-//! time. This module enumerates that matrix as independent [`SweepJob`]s
-//! and fans them across worker threads with [`par_map`], a dependency-
-//! free scoped-thread work queue (the build environment has no registry
-//! access, so no rayon).
+//! time. This module enumerates that matrix from the experiment
+//! [`Registry`] (every cell is an [`Experiment`] implementation),
+//! selects a subset with [`SweepBuilder`], and fans the selected jobs
+//! across worker threads with [`par_map`], a dependency-free
+//! scoped-thread work queue (the build environment has no registry
+//! access, so no rayon). The result is a typed [`Report`] that the
+//! [`crate::render`] backends turn into text, JSON, or CSV.
 //!
 //! # Determinism
 //!
 //! Each job owns a private RNG seed derived from the sweep's base seed
-//! and the job's stable label via SplitMix64 ([`derive_seed`]). Seeds
+//! and the job's stable id via [`crate::seed::derive_seed`]. Seeds
 //! therefore do not depend on worker count, scheduling order, or the
 //! position of a job in the matrix — two sweeps with the same base
-//! seed produce byte-identical reports, and a parallel sweep matches a
-//! serial one exactly. This invariant is enforced by the workspace's
-//! `tests/determinism.rs`.
+//! seed produce byte-identical reports in every output format, and a
+//! parallel sweep matches a serial one exactly. This invariant is
+//! enforced by the workspace's `tests/determinism.rs`. Wall-clock
+//! timings are deliberately kept *outside* the report (in
+//! [`SweepOutcome::timings`]) so they can feed perf artifacts without
+//! breaking that contract.
 //!
 //! # Example
 //!
 //! ```
 //! use hyvec_core::experiments::ExperimentParams;
-//! use hyvec_core::sweep::run_all;
+//! use hyvec_core::sweep::SweepBuilder;
 //!
 //! let params = ExperimentParams { instructions: 2_000, seed: 1 };
-//! let serial = run_all(params, 1);
-//! let parallel = run_all(params, 4);
-//! assert_eq!(serial.render(), parallel.render());
+//! let outcome = SweepBuilder::new()
+//!     .params(params)
+//!     .artifacts(["fig3"])
+//!     .jobs(2)
+//!     .run();
+//! assert_eq!(outcome.report.sections.len(), 2); // fig3/A, fig3/B
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 use crate::architecture::Scenario;
-use crate::experiments::{
-    ablation_granularity, ablation_memory_latency, ablation_voltage, ablation_ways,
-    area_comparison, fig3_hp_epi, fig4_ule_epi, reliability, soft_error_study, ule_performance,
-    ExperimentParams,
-};
-use crate::methodology::{design_ule_way, MethodologyInputs};
+use crate::experiments::{Experiment, ExperimentParams};
+use crate::registry::Registry;
+use crate::report::{Report, Section, SWEEP_TITLE};
+use crate::seed::derive_seed;
 use hyvec_cachesim::power::EnergyBreakdown;
-use hyvec_sram::failure::FailureModel;
-
-/// Monte-Carlo dies sampled by the reliability jobs (the standalone
-/// `table_reliability` binary samples 200 for a tighter estimate).
-const RELIABILITY_DIES: u32 = 100;
-
-/// Accelerated soft-error rate used by the soft-error job (matches the
-/// standalone `table_soft_errors` binary).
-const SOFT_ERROR_RATE: f64 = 3e-8;
 
 // ---------------------------------------------------------------------
-// Formatting helpers (shared with the hyvec_bench render layer)
+// Formatting helpers (legacy; kept for the hyvec_bench public API)
 // ---------------------------------------------------------------------
 
 /// Renders one normalized EPI breakdown as a table row.
@@ -84,128 +83,32 @@ pub fn pct(x: f64) -> String {
 // Job matrix
 // ---------------------------------------------------------------------
 
-/// One independent unit of the evaluation matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobKind {
-    /// Sec. III-C sizing/yield methodology for one scenario.
-    Methodology(Scenario),
-    /// Figure 3: HP-mode EPI for one scenario.
-    Fig3(Scenario),
-    /// Figure 4: ULE-mode EPI breakdowns for one scenario.
-    Fig4(Scenario),
-    /// Sec. IV-B.2 execution-time overhead for one scenario.
-    Performance(Scenario),
-    /// L1 area comparison for one scenario.
-    Area(Scenario),
-    /// Yields + fault injection for one scenario.
-    Reliability(Scenario),
-    /// Hard faults + soft errors, DECTED vs SECDED (scenario B).
-    SoftErrors,
-    /// 7+1 vs 6+2 way split for one scenario.
-    AblationWays(Scenario),
-    /// Memory-latency sweep for one scenario.
-    AblationMemoryLatency(Scenario),
-    /// ULE-voltage sweep for one scenario.
-    AblationVoltage(Scenario),
-    /// Protection-granularity analysis (scenario A).
-    AblationGranularity,
-}
-
-/// A scheduled job: what to run and the private seed it runs with.
+/// A scheduled job: which experiment to run and the private seed it
+/// runs with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepJob {
-    /// The unit of work.
-    pub kind: JobKind,
-    /// Stable human-readable identifier (also the seed-derivation key).
+    /// Stable experiment id (also the seed-derivation key).
     pub label: String,
     /// Run parameters with the job's derived private seed.
     pub params: ExperimentParams,
 }
 
-impl JobKind {
-    /// Stable label of this job; doubles as its seed-derivation key,
-    /// so renaming a job (and nothing else) is the only way to change
-    /// its RNG stream.
-    pub fn label(self) -> String {
-        match self {
-            JobKind::Methodology(s) => format!("methodology/{s}"),
-            JobKind::Fig3(s) => format!("fig3/{s}"),
-            JobKind::Fig4(s) => format!("fig4/{s}"),
-            JobKind::Performance(s) => format!("performance/{s}"),
-            JobKind::Area(s) => format!("area/{s}"),
-            JobKind::Reliability(s) => format!("reliability/{s}"),
-            JobKind::SoftErrors => "soft-errors/B".to_string(),
-            JobKind::AblationWays(s) => format!("ablation-ways/{s}"),
-            JobKind::AblationMemoryLatency(s) => format!("ablation-memlat/{s}"),
-            JobKind::AblationVoltage(s) => format!("ablation-voltage/{s}"),
-            JobKind::AblationGranularity => "ablation-granularity/A".to_string(),
-        }
-    }
+/// Enumerates the full standard evaluation matrix in canonical report
+/// order, with per-job derived seeds.
+pub fn full_matrix(params: ExperimentParams) -> Vec<SweepJob> {
+    matrix_for(&Registry::standard(), params)
 }
 
-/// Enumerates the full evaluation matrix in canonical report order.
-pub fn full_matrix(params: ExperimentParams) -> Vec<SweepJob> {
-    let mut kinds = Vec::new();
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Methodology(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Fig3(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Fig4(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Performance(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Area(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::Reliability(s));
-    }
-    kinds.push(JobKind::SoftErrors);
-    for s in Scenario::ALL {
-        kinds.push(JobKind::AblationWays(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::AblationMemoryLatency(s));
-    }
-    for s in Scenario::ALL {
-        kinds.push(JobKind::AblationVoltage(s));
-    }
-    kinds.push(JobKind::AblationGranularity);
-
-    kinds
+/// Enumerates `registry`'s experiments as seeded jobs.
+pub fn matrix_for(registry: &Registry, params: ExperimentParams) -> Vec<SweepJob> {
+    registry
+        .ids()
         .into_iter()
-        .map(|kind| {
-            let label = kind.label();
-            let seed = derive_seed(params.seed, &label);
-            SweepJob {
-                kind,
-                label,
-                params: ExperimentParams {
-                    instructions: params.instructions,
-                    seed,
-                },
-            }
+        .map(|id| SweepJob {
+            label: id.to_string(),
+            params: params.with_seed(derive_seed(params.seed, id)),
         })
         .collect()
-}
-
-/// Derives a job's private seed from the sweep base seed and the job's
-/// stable label: FNV-1a over the label, then a SplitMix64 finalizer so
-/// related base seeds still give unrelated streams.
-pub fn derive_seed(base: u64, label: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    let mut z = base ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 // ---------------------------------------------------------------------
@@ -256,230 +159,222 @@ pub fn default_jobs() -> usize {
 }
 
 // ---------------------------------------------------------------------
-// Job execution and report rendering
+// Sweep selection and execution
 // ---------------------------------------------------------------------
 
-/// One rendered section of the sweep report.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepSection {
-    /// The job's stable label.
-    pub label: String,
-    /// The seed the job ran with.
-    pub seed: u64,
-    /// Rendered body.
-    pub body: String,
-}
-
-/// The full rendered evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepReport {
-    /// Base parameters of the sweep (the seed is the *base* seed).
-    pub params: ExperimentParams,
-    /// Sections in canonical matrix order.
-    pub sections: Vec<SweepSection>,
-}
-
-impl SweepReport {
-    /// Renders the whole report as one deterministic string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "hyvec evaluation sweep: {} jobs, {} instructions/benchmark, base seed {}\n\n",
-            self.sections.len(),
-            self.params.instructions,
-            self.params.seed
-        ));
-        for section in &self.sections {
-            out.push_str(&format!(
-                "== {} (seed {:#018x}) ==\n",
-                section.label, section.seed
-            ));
-            out.push_str(&section.body);
-            out.push('\n');
+/// Matches `text` against a shell-style glob pattern (`*` = any run of
+/// characters, `?` = any single character; everything else literal).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('*') => rec(&p[1..], t) || (!t.is_empty() && rec(p, &t[1..])),
+            Some('?') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(&c) => t.first() == Some(&c) && rec(&p[1..], &t[1..]),
         }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+/// Wall-clock timing of one executed job (kept outside the report so
+/// rendered output stays a pure function of the seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTiming {
+    /// The job's experiment id.
+    pub label: String,
+    /// Wall time of the job, nanoseconds.
+    pub wall_nanos: u128,
+}
+
+impl JobTiming {
+    /// Wall time in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_nanos as f64 / 1e6
+    }
+}
+
+/// Everything a sweep run produces: the deterministic typed report
+/// plus the (non-deterministic) per-job wall-clock timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The merged report, sections in canonical order.
+    pub report: Report,
+    /// Per-job wall time, in the same order as the sections.
+    pub timings: Vec<JobTiming>,
+}
+
+impl SweepOutcome {
+    /// Serializes the timings as the `BENCH_sweep.json` perf-trajectory
+    /// artifact (hand-rolled JSON; see `crate::render` for escaping).
+    pub fn bench_json(&self) -> String {
+        let total: u128 = self.timings.iter().map(|t| t.wall_nanos).sum();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"hyvec-bench-sweep/v1\",\n");
+        out.push_str(&format!(
+            "  \"instructions\": {},\n",
+            self.report.instructions
+        ));
+        out.push_str(&format!(
+            "  \"base_seed\": \"{}\",\n",
+            self.report.base_seed
+        ));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            total as f64 / 1e6
+        ));
+        out.push_str("  \"jobs\": [");
+        for (i, t) in self.timings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_ms\": {:.3}}}",
+                crate::render::escape_json(&t.label),
+                t.wall_ms()
+            ));
+        }
+        if self.timings.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
         out
     }
 }
 
-/// Runs every job of the evaluation matrix on up to `jobs` worker
-/// threads and returns the assembled report.
-pub fn run_all(params: ExperimentParams, jobs: usize) -> SweepReport {
-    run_filtered(params, jobs, |_| true)
-}
-
-/// Runs the subset of the evaluation matrix selected by `select`, in
-/// canonical order, on up to `jobs` worker threads. Seeds are derived
-/// per job label, so a job's result is identical whether it runs in a
-/// full sweep or a filtered one.
-pub fn run_filtered(
+/// Selects and runs a subset of the evaluation matrix.
+///
+/// All filters intersect: an experiment runs if its artifact passes
+/// [`SweepBuilder::artifacts`] (when set), its scenario passes
+/// [`SweepBuilder::scenarios`] (when set), and its full id matches at
+/// least one [`SweepBuilder::filter`] glob (when any are given).
+/// Seeds are derived per experiment id, so a job's section is
+/// byte-identical whether it runs in a full sweep or a filtered one.
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
     params: ExperimentParams,
     jobs: usize,
-    select: impl Fn(JobKind) -> bool,
-) -> SweepReport {
-    let matrix: Vec<SweepJob> = full_matrix(params)
-        .into_iter()
-        .filter(|job| select(job.kind))
-        .collect();
-    let sections = par_map(&matrix, jobs, |job| SweepSection {
-        label: job.label.clone(),
-        seed: job.params.seed,
-        body: run_job(job),
-    });
-    SweepReport { params, sections }
+    artifacts: Option<Vec<String>>,
+    scenarios: Option<Vec<Scenario>>,
+    globs: Vec<String>,
 }
 
-/// Executes one job and renders its section body.
-pub fn run_job(job: &SweepJob) -> String {
-    let p = job.params;
-    match job.kind {
-        JobKind::Methodology(s) => {
-            let d = design_ule_way(s, &FailureModel::default(), &MethodologyInputs::default())
-                .expect("default methodology converges");
-            format!(
-                "Pf target {:.3e}; sizings: 6T x{:.2}, 10T x{:.2}, 8T x{:.2}\n\
-                 yield {:.6} (baseline) -> {:.6} (proposal), {} sizing iterations\n",
-                d.pf_target,
-                d.sizing_6t,
-                d.sizing_10t,
-                d.sizing_8t,
-                d.yield_baseline,
-                d.yield_proposal,
-                d.iterations
-            )
-        }
-        JobKind::Fig3(s) => {
-            let r = fig3_hp_epi(s, p);
-            let mut out = format!("{}\n", breakdown_header());
-            out.push_str(&format!("{}\n", breakdown_row("baseline", &r.baseline)));
-            out.push_str(&format!("{}\n", breakdown_row("proposal", &r.proposal)));
-            out.push_str(&format!(
-                "HP EPI saving: {} (paper: ~14% A / ~12% B)\n",
-                pct(r.saving)
-            ));
-            out
-        }
-        JobKind::Fig4(s) => {
-            let r = fig4_ule_epi(s, p);
-            let mut out = String::new();
-            for row in &r.rows {
-                out.push_str(&format!(
-                    "{:<10} saving {}\n",
-                    row.benchmark.to_string(),
-                    pct(row.saving)
-                ));
-            }
-            out.push_str(&format!(
-                "average ULE saving: {} (paper: ~42% A / ~39% B)\n",
-                pct(r.avg_saving)
-            ));
-            out
-        }
-        JobKind::Performance(s) => {
-            let rows = ule_performance(s, p);
-            let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
-            let mut out = String::new();
-            for r in &rows {
-                out.push_str(&format!(
-                    "{:<10} {:>10} -> {:>10} cycles ({})\n",
-                    r.benchmark.to_string(),
-                    r.baseline_cycles,
-                    r.proposal_cycles,
-                    pct(r.overhead)
-                ));
-            }
-            out.push_str(&format!("average overhead: {} (paper: ~3%)\n", pct(avg)));
-            out
-        }
-        JobKind::Area(s) => {
-            let r = area_comparison(s);
-            format!(
-                "L1 (IL1+DL1): {:.0} -> {:.0} um2 (saving {})\n\
-                 ULE way alone: {:.0} -> {:.0} um2\n",
-                r.baseline_um2,
-                r.proposal_um2,
-                pct(r.saving),
-                r.ule_way_baseline_um2,
-                r.ule_way_proposal_um2
-            )
-        }
-        JobKind::Reliability(s) => {
-            let r = reliability(s, RELIABILITY_DIES, p);
-            format!(
-                "analytic yield: {:.6} (baseline) / {:.6} (proposal); MC over {} dies: {:.3}\n\
-                 fault injection: corrected {}, silent {} (must be 0), strawman silent {}\n",
-                r.analytic_baseline,
-                r.analytic_proposal,
-                r.dies,
-                r.mc_proposal,
-                r.proposal_corrected,
-                r.proposal_silent,
-                r.strawman_silent
-            )
-        }
-        JobKind::SoftErrors => {
-            let r = soft_error_study(p, SOFT_ERROR_RATE);
-            format!(
-                "SECDED: corrected {}, uncorrectable {}\n\
-                 DECTED: corrected {}, uncorrectable {}\n\
-                 silent under either: {} (must be 0)\n",
-                r.secded_corrected,
-                r.secded_detected,
-                r.dected_corrected,
-                r.dected_detected,
-                r.silent
-            )
-        }
-        JobKind::AblationWays(s) => {
-            let mut out = String::new();
-            for r in ablation_ways(s, p) {
-                out.push_str(&format!(
-                    "{}+{}: HP {}, ULE {}\n",
-                    r.hp_ways,
-                    r.ule_ways,
-                    pct(r.hp_saving),
-                    pct(r.ule_saving)
-                ));
-            }
-            out
-        }
-        JobKind::AblationMemoryLatency(s) => {
-            let mut out = String::new();
-            for r in ablation_memory_latency(s, p) {
-                out.push_str(&format!(
-                    "{:>3} cycles: HP {}\n",
-                    r.latency,
-                    pct(r.hp_saving)
-                ));
-            }
-            out
-        }
-        JobKind::AblationVoltage(s) => {
-            let mut out = String::new();
-            for r in ablation_voltage(s, p) {
-                out.push_str(&format!(
-                    "{:.0} mV: 10T x{:.2}, 8T x{:.2}, ULE saving {}\n",
-                    r.ule_vdd * 1000.0,
-                    r.sizing_10t,
-                    r.sizing_8t,
-                    pct(r.ule_saving)
-                ));
-            }
-            out
-        }
-        JobKind::AblationGranularity => {
-            let mut out = String::new();
-            for r in ablation_granularity() {
-                out.push_str(&format!(
-                    "{:>2}-bit words: overhead {}, 8T x{:.2}, bits x{:.3}\n",
-                    r.word_bits,
-                    pct(r.storage_overhead),
-                    r.sizing_8t,
-                    r.relative_bits
-                ));
-            }
-            out
+impl Default for SweepBuilder {
+    fn default() -> Self {
+        SweepBuilder::new()
+    }
+}
+
+impl SweepBuilder {
+    /// A sweep of everything, with default parameters, on one worker
+    /// per core.
+    pub fn new() -> SweepBuilder {
+        SweepBuilder {
+            params: ExperimentParams::default(),
+            jobs: default_jobs(),
+            artifacts: None,
+            scenarios: None,
+            globs: Vec::new(),
         }
     }
+
+    /// Sets the run parameters (instruction budget + base seed).
+    pub fn params(mut self, params: ExperimentParams) -> SweepBuilder {
+        self.params = params;
+        self
+    }
+
+    /// Sets the worker-thread count (values ≥ 1; the executor also
+    /// never spawns more workers than jobs).
+    pub fn jobs(mut self, jobs: usize) -> SweepBuilder {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Restricts the sweep to the given artifact families (the part of
+    /// the id before `/`, e.g. `"fig3"`, `"ablation-ways"`).
+    pub fn artifacts<I, S>(mut self, artifacts: I) -> SweepBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.artifacts = Some(artifacts.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Restricts the sweep to the given scenarios (the part of the id
+    /// after `/`).
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> SweepBuilder {
+        self.scenarios = Some(scenarios.into_iter().collect());
+        self
+    }
+
+    /// Adds a glob filter over full experiment ids (e.g.
+    /// `"ablation-*"`, `"*/B"`). Multiple filters union.
+    pub fn filter(mut self, glob: impl Into<String>) -> SweepBuilder {
+        self.globs.push(glob.into());
+        self
+    }
+
+    /// Whether the experiment id passes every configured filter.
+    pub fn selects(&self, id: &str) -> bool {
+        let (artifact, scenario) = id.split_once('/').unwrap_or((id, ""));
+        if let Some(artifacts) = &self.artifacts {
+            if !artifacts.iter().any(|a| a == artifact) {
+                return false;
+            }
+        }
+        if let Some(scenarios) = &self.scenarios {
+            if !scenarios.iter().any(|s| s.to_string() == scenario) {
+                return false;
+            }
+        }
+        if !self.globs.is_empty() && !self.globs.iter().any(|g| glob_match(g, id)) {
+            return false;
+        }
+        true
+    }
+
+    /// Runs the selected subset of the standard registry.
+    pub fn run(&self) -> SweepOutcome {
+        self.run_with(&Registry::standard())
+    }
+
+    /// Runs the selected subset of `registry` on up to the configured
+    /// number of worker threads and returns the merged report plus
+    /// per-job timings.
+    pub fn run_with(&self, registry: &Registry) -> SweepOutcome {
+        let selected: Vec<(&dyn Experiment, u64)> = registry
+            .iter()
+            .filter(|e| self.selects(e.id()))
+            .map(|e| (e, derive_seed(self.params.seed, e.id())))
+            .collect();
+        let results: Vec<(Vec<Section>, JobTiming)> =
+            par_map(&selected, self.jobs, |&(experiment, seed)| {
+                let start = Instant::now();
+                let report = experiment.run(self.params, seed);
+                let timing = JobTiming {
+                    label: experiment.id().to_string(),
+                    wall_nanos: start.elapsed().as_nanos(),
+                };
+                (report.sections, timing)
+            });
+        let mut report = Report::new(SWEEP_TITLE, self.params.instructions, self.params.seed);
+        let mut timings = Vec::with_capacity(results.len());
+        for (sections, timing) in results {
+            report.sections.extend(sections);
+            timings.push(timing);
+        }
+        SweepOutcome { report, timings }
+    }
+}
+
+/// Runs every job of the standard evaluation matrix on up to `jobs`
+/// worker threads and returns the assembled report.
+pub fn run_all(params: ExperimentParams, jobs: usize) -> Report {
+    SweepBuilder::new().params(params).jobs(jobs).run().report
 }
 
 #[cfg(test)]
@@ -527,10 +422,72 @@ mod tests {
     }
 
     #[test]
-    fn derived_seeds_are_stable_and_keyed_on_base_and_label() {
-        assert_eq!(derive_seed(1, "fig3/A"), derive_seed(1, "fig3/A"));
-        assert_ne!(derive_seed(1, "fig3/A"), derive_seed(2, "fig3/A"));
-        assert_ne!(derive_seed(1, "fig3/A"), derive_seed(1, "fig3/B"));
+    fn glob_matching_covers_the_cli_patterns() {
+        assert!(glob_match("*", "fig3/A"));
+        assert!(glob_match("fig3/*", "fig3/A"));
+        assert!(glob_match("*/B", "fig3/B"));
+        assert!(!glob_match("*/B", "fig3/A"));
+        assert!(glob_match("ablation-*", "ablation-ways/A"));
+        assert!(glob_match("fig?/A", "fig3/A"));
+        assert!(!glob_match("fig?/A", "fig34/A"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn builder_filters_intersect() {
+        let b = SweepBuilder::new()
+            .artifacts(["fig3", "fig4"])
+            .scenarios([Scenario::A]);
+        assert!(b.selects("fig3/A"));
+        assert!(!b.selects("fig3/B"));
+        assert!(!b.selects("area/A"));
+        let g = SweepBuilder::new().filter("ablation-*").filter("fig3/A");
+        assert!(g.selects("fig3/A"));
+        assert!(g.selects("ablation-voltage/B"));
+        assert!(!g.selects("fig4/A"));
+    }
+
+    #[test]
+    fn filtered_sections_match_the_full_sweep() {
+        let params = ExperimentParams {
+            instructions: 2_000,
+            seed: 11,
+        };
+        let full = run_all(params, 2);
+        let fig3 = SweepBuilder::new()
+            .params(params)
+            .jobs(1)
+            .artifacts(["fig3"])
+            .run();
+        assert_eq!(fig3.report.sections.len(), 2);
+        for section in &fig3.report.sections {
+            let from_full = full
+                .sections
+                .iter()
+                .find(|s| s.label == section.label)
+                .expect("full sweep has the section");
+            assert_eq!(from_full, section, "filtering changed {}", section.label);
+        }
+        assert_eq!(fig3.timings.len(), 2);
+        assert_eq!(fig3.timings[0].label, fig3.report.sections[0].label);
+    }
+
+    #[test]
+    fn bench_json_lists_every_job() {
+        let outcome = SweepBuilder::new()
+            .params(ExperimentParams {
+                instructions: 1_000,
+                seed: 3,
+            })
+            .artifacts(["area", "methodology"])
+            .jobs(2)
+            .run();
+        let json = outcome.bench_json();
+        assert!(json.contains("\"schema\": \"hyvec-bench-sweep/v1\""));
+        assert!(json.contains("\"id\": \"area/A\""));
+        assert!(json.contains("\"id\": \"methodology/B\""));
+        assert!(json.contains("\"total_wall_ms\""));
     }
 
     #[test]

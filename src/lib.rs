@@ -11,8 +11,10 @@
 //! * [`cachemodel`] — CACTI-style energy / delay / area models
 //! * [`mediabench`] — synthetic MediaBench-like trace generators
 //! * [`cachesim`] — functional + timing + power cache simulator
-//! * [`core`] — the paper's architecture, methodology and experiments
-//! * [`bench`] — table/figure rendering helpers
+//! * [`core`] — the paper's architecture, methodology, experiments,
+//!   and the typed report/render/sweep pipeline
+//! * `bench` — the CLI front-ends (thin shells over [`core::sweep`])
+//!   and Criterion micro-benchmarks
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

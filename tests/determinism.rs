@@ -3,6 +3,7 @@
 //! worker count is not observable in the output.
 
 use hyvec_core::experiments::ExperimentParams;
+use hyvec_core::seed::derive_seed;
 use hyvec_core::sweep::{full_matrix, run_all};
 
 fn quick() -> ExperimentParams {
@@ -59,4 +60,36 @@ fn report_sections_follow_canonical_matrix_order() {
     let labels: Vec<_> = report.sections.iter().map(|s| s.label.clone()).collect();
     let expected: Vec<_> = full_matrix(quick()).into_iter().map(|j| j.label).collect();
     assert_eq!(labels, expected, "sections must keep matrix order");
+}
+
+#[test]
+fn section_seeds_use_the_shared_derivation() {
+    // The report records each job's private seed; it must come from
+    // the shared hyvec_core::seed derivation of (base seed, label) —
+    // not from some scheduler-dependent source.
+    let report = run_all(quick(), 2);
+    for section in &report.sections {
+        assert_eq!(
+            section.seed,
+            derive_seed(quick().seed, &section.label),
+            "section {} carries a foreign seed",
+            section.label
+        );
+    }
+}
+
+#[test]
+fn structured_formats_are_jobs_invariant_too() {
+    // The determinism contract extends beyond the text renderer: the
+    // JSON and CSV outputs must also be independent of worker count.
+    use hyvec_core::render::{render, Format};
+    let serial = run_all(quick(), 1);
+    let parallel = run_all(quick(), 4);
+    for format in [Format::Json, Format::Csv] {
+        assert_eq!(
+            render(&serial, format),
+            render(&parallel, format),
+            "worker count changed the {format} output"
+        );
+    }
 }
