@@ -1,0 +1,10 @@
+//! Ablation A5: unified-L2 size/latency sweep over the composable
+//! memory hierarchy (EPI + stall breakdown behind a slow memory).
+//!
+//! Thin shell over the `ablation-l2/*` experiments of the registry.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_l2", &["ablation-l2"])
+}

@@ -17,7 +17,7 @@
 //!   area          L1 area comparison
 //!   reliability   yields + fault injection
 //!   soft-errors   hard faults + soft errors (DECTED vs SECDED)
-//!   ablations     way split, memory latency, granularity, voltage
+//!   ablations     way split, memory latency, voltage, L2, granularity
 //!   all           alias of run-all
 //! ```
 //!
@@ -48,6 +48,7 @@ fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
             "ablation-ways",
             "ablation-memlat",
             "ablation-voltage",
+            "ablation-l2",
             "ablation-granularity",
         ],
         _ => return None,

@@ -131,9 +131,23 @@ impl HybridCache {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`CacheConfig::validate`]).
+    /// [`CacheConfig::validate`]). Use [`HybridCache::try_new`] to
+    /// handle the error instead.
     pub fn new(config: CacheConfig, mode: Mode) -> Self {
-        config.validate_or_panic();
+        match HybridCache::try_new(config, mode) {
+            Ok(cache) => cache,
+            Err(e) => panic!("invalid cache config: {e}"),
+        }
+    }
+
+    /// Builds an empty cache in the given mode, reporting an invalid
+    /// geometry instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`CacheConfig`] invariant.
+    pub fn try_new(config: CacheConfig, mode: Mode) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
         let sets = config.sets();
         let words = config.words_per_line();
         let ways = config
@@ -168,14 +182,14 @@ impl HybridCache {
                     .collect(),
             })
             .collect();
-        HybridCache {
+        Ok(HybridCache {
             config,
             ways,
             faults: HashMap::new(),
             mode,
             lru_clock: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The cache configuration.

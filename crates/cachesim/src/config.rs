@@ -41,6 +41,14 @@ pub enum ConfigError {
     },
     /// No way is ULE-enabled, so the cache cannot operate at ULE mode.
     NoUleWay,
+    /// A [`SystemBuilder`](crate::engine::SystemBuilder) was asked to
+    /// build without one of the mandatory L1 configurations.
+    MissingCache {
+        /// Which cache is missing (`"il1"` or `"dl1"`).
+        cache: &'static str,
+    },
+    /// The configured soft-error rate is negative or not finite.
+    InvalidSeuRate,
 }
 
 impl fmt::Display for ConfigError {
@@ -71,6 +79,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::NoUleWay => {
                 write!(f, "at least one ULE way required for hybrid operation")
+            }
+            ConfigError::MissingCache { cache } => {
+                write!(f, "system builder needs an {cache} configuration")
+            }
+            ConfigError::InvalidSeuRate => {
+                write!(f, "soft-error rate must be finite and >= 0")
             }
         }
     }
@@ -256,9 +270,122 @@ impl CacheConfig {
     ///
     /// Panics with the [`ConfigError`] message if the geometry is
     /// invalid.
+    #[deprecated(
+        note = "use validate()? or SystemBuilder::build() -> Result and handle the ConfigError"
+    )]
     pub fn validate_or_panic(&self) {
         if let Err(e) = self.validate() {
             panic!("invalid cache config: {e}");
+        }
+    }
+}
+
+/// Geometry and timing of the optional unified L2 behind both L1s
+/// (simulated by [`crate::hierarchy::L2Cache`]).
+///
+/// The L2 is a timing/energy model, not a bit-accurate store: the
+/// paper's EDC machinery lives in the L1 ways, so the L2 carries no
+/// protection state of its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L2Config {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency charged on every L2 access, cycles.
+    pub hit_latency: u32,
+    /// Dynamic energy per L2 read access, pJ.
+    pub read_energy_pj: f64,
+    /// Dynamic energy per L2 line write (fill or store), pJ.
+    pub write_energy_pj: f64,
+}
+
+impl L2Config {
+    /// A unified `size_kb`-KB L2 with 32B lines (matching the L1s),
+    /// 8 ways, and latency/energy defaults that grow gently with
+    /// capacity (one extra lookup cycle per size doubling past 16KB,
+    /// CACTI-flavored per-access energy).
+    pub fn unified(size_kb: u64) -> Self {
+        assert!(size_kb > 0, "L2 capacity must be positive");
+        let doublings = (size_kb / 16).max(1).ilog2();
+        let read_energy_pj = 4.0 + 0.02 * size_kb as f64;
+        L2Config {
+            size_bytes: size_kb * 1024,
+            line_bytes: 32,
+            ways: 8,
+            hit_latency: 4 + doublings,
+            read_energy_pj,
+            write_energy_pj: 1.25 * read_energy_pj,
+        }
+    }
+
+    /// The same configuration with an explicit lookup latency.
+    pub fn with_hit_latency(mut self, cycles: u32) -> Self {
+        self.hit_latency = cycles;
+        self
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / self.ways as u64
+    }
+
+    /// Validates the geometry, reporting the first violated invariant
+    /// (the hybrid-specific ULE-way rule does not apply to the L2).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ways == 0 {
+            return Err(ConfigError::NoWays);
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.ways as u64)
+        {
+            return Err(ConfigError::SizeNotDivisible {
+                size_bytes: self.size_bytes,
+                line_bytes: self.line_bytes,
+                ways: self.ways,
+            });
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(ConfigError::SetsNotPowerOfTwo { sets: self.sets() });
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The terminal main-memory model behind the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Access latency in cycles (paper: ~20 behind the L1s).
+    pub latency: u32,
+    /// Dynamic energy per access, pJ. The default is 0 — the paper's
+    /// EPI accounting stops at the L1s, and keeping the default free
+    /// keeps legacy [`SystemConfig`] runs byte-identical.
+    pub access_energy_pj: f64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            latency: 20,
+            access_energy_pj: 0.0,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// A flat memory with the given latency and no energy model.
+    pub fn with_latency(latency: u32) -> Self {
+        MemoryConfig {
+            latency,
+            ..MemoryConfig::default()
         }
     }
 }
@@ -395,8 +522,55 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "ULE way required")]
+    #[allow(deprecated)]
     fn validate_or_panic_keeps_the_old_contract() {
         let cfg = CacheConfig::l1_8kb(vec![WaySpec::hp_way(1.0, Protection::None); 8]);
         cfg.validate_or_panic();
+    }
+
+    #[test]
+    fn l2_config_defaults_scale_with_capacity() {
+        let small = L2Config::unified(16);
+        let big = L2Config::unified(128);
+        small.validate().expect("16KB default is valid");
+        big.validate().expect("128KB default is valid");
+        assert_eq!(small.sets(), 64);
+        assert!(big.hit_latency > small.hit_latency);
+        assert!(big.read_energy_pj > small.read_energy_pj);
+        assert!(small.write_energy_pj > small.read_energy_pj);
+        assert_eq!(small.with_hit_latency(9).hit_latency, 9);
+    }
+
+    #[test]
+    fn l2_config_rejects_bad_geometry() {
+        let mut cfg = L2Config::unified(32);
+        cfg.ways = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoWays));
+        let mut cfg = L2Config::unified(32);
+        cfg.size_bytes += 32;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::SizeNotDivisible { .. })
+        ));
+        let mut cfg = L2Config::unified(32);
+        cfg.line_bytes = 24;
+        cfg.size_bytes = 24 * 8 * 128;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn memory_config_default_is_the_paper_latency() {
+        let m = MemoryConfig::default();
+        assert_eq!(m.latency, 20);
+        assert_eq!(m.access_energy_pj, 0.0);
+        assert_eq!(MemoryConfig::with_latency(80).latency, 80);
+    }
+
+    #[test]
+    fn builder_error_messages_render() {
+        assert!(ConfigError::MissingCache { cache: "il1" }
+            .to_string()
+            .contains("il1"));
+        assert!(ConfigError::InvalidSeuRate.to_string().contains("finite"));
     }
 }

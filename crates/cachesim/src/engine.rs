@@ -14,13 +14,18 @@
 //!   which stems from the fill/correction path.
 
 use crate::cache::{HybridCache, WordSlot};
-use crate::config::{Mode, SystemConfig};
+use crate::config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig};
+use crate::hierarchy::{AccessRequest, L2Cache, MainMemory, MemoryLevel};
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::stats::RunStats;
-use hyvec_cachemodel::OperatingPoint;
-use hyvec_mediabench::TraceEntry;
+use hyvec_cachemodel::{OperatingPoint, TechnologyParams};
+use hyvec_mediabench::TraceSource;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Default seed of the soft-error RNG (historical constant of
+/// `System::new`; [`SystemBuilder::seu`] overrides it).
+const DEFAULT_SEU_SEED: u64 = 0x5E0_E44;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,13 +47,16 @@ impl RunReport {
     }
 }
 
-/// The simulated system: core + IL1 + DL1 + power model.
+/// The simulated system: core + IL1 + DL1 + the [`MemoryLevel`] chain
+/// below them + power model.
 #[derive(Debug)]
 pub struct System {
     il1: HybridCache,
     dl1: HybridCache,
+    /// The memory hierarchy beneath both L1s (an optional unified L2,
+    /// then main memory — or any custom [`MemoryLevel`] chain).
+    below: Box<dyn MemoryLevel>,
     power: PowerModel,
-    memory_latency: u32,
     /// Soft-error injection: expected upsets per stored bit per cycle
     /// (0 disables). Real rates are ~1e-17/bit/s; experiments
     /// accelerate this by many orders of magnitude to observe events
@@ -57,17 +65,181 @@ pub struct System {
     seu_rng: SmallRng,
 }
 
-impl System {
-    /// Builds a system in HP mode.
-    pub fn new(config: SystemConfig) -> Self {
+/// Fluent, validating constructor for [`System`]: pick the L1s, an
+/// optional unified L2, the memory model, and soft-error injection,
+/// then [`build`](SystemBuilder::build).
+///
+/// ```
+/// use hyvec_cachesim::config::{L2Config, MemoryConfig, SystemConfig};
+/// use hyvec_cachesim::engine::System;
+///
+/// let l1s = SystemConfig::uniform_6t();
+/// let system = System::builder()
+///     .il1(l1s.il1.clone())
+///     .dl1(l1s.dl1.clone())
+///     .l2(L2Config::unified(64))
+///     .memory(MemoryConfig::with_latency(80))
+///     .seu(1e-9, 7)
+///     .build()
+///     .expect("valid configuration");
+/// # let _ = system;
+/// ```
+///
+/// A builder seeded from a legacy [`SystemConfig`]
+/// ([`SystemBuilder::config`]) with no further calls builds a system
+/// byte-identical to `System::new(config)`.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    il1: Option<CacheConfig>,
+    dl1: Option<CacheConfig>,
+    l2: Option<L2Config>,
+    memory: MemoryConfig,
+    tech: TechnologyParams,
+    uncore_ten_t_sizing: f64,
+    seu: Option<(f64, u64)>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            il1: None,
+            dl1: None,
+            l2: None,
+            memory: MemoryConfig::default(),
+            tech: TechnologyParams::nm32(),
+            uncore_ten_t_sizing: 2.65,
+            seu: None,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Seeds the L1s, memory latency, technology and uncore sizing
+    /// from a legacy [`SystemConfig`] (the pre-builder configuration
+    /// shape). Later calls override individual pieces.
+    pub fn config(mut self, config: SystemConfig) -> SystemBuilder {
+        self.il1 = Some(config.il1);
+        self.dl1 = Some(config.dl1);
+        self.memory.latency = config.memory_latency;
+        self.tech = config.tech;
+        self.uncore_ten_t_sizing = config.uncore_ten_t_sizing;
+        self
+    }
+
+    /// Sets the instruction-L1 configuration.
+    pub fn il1(mut self, config: CacheConfig) -> SystemBuilder {
+        self.il1 = Some(config);
+        self
+    }
+
+    /// Sets the data-L1 configuration.
+    pub fn dl1(mut self, config: CacheConfig) -> SystemBuilder {
+        self.dl1 = Some(config);
+        self
+    }
+
+    /// Inserts a unified L2 between the L1s and main memory.
+    pub fn l2(mut self, config: L2Config) -> SystemBuilder {
+        self.l2 = Some(config);
+        self
+    }
+
+    /// Sets the main-memory model (latency + per-access energy).
+    pub fn memory(mut self, config: MemoryConfig) -> SystemBuilder {
+        self.memory = config;
+        self
+    }
+
+    /// Shorthand for [`SystemBuilder::memory`] with only a latency.
+    pub fn memory_latency(mut self, cycles: u32) -> SystemBuilder {
+        self.memory.latency = cycles;
+        self
+    }
+
+    /// Sets the technology constants of the power model.
+    pub fn tech(mut self, tech: TechnologyParams) -> SystemBuilder {
+        self.tech = tech;
+        self
+    }
+
+    /// Sets the 10T sizing of the always-on uncore SRAM arrays.
+    pub fn uncore_sizing(mut self, sizing: f64) -> SystemBuilder {
+        self.uncore_ten_t_sizing = sizing;
+        self
+    }
+
+    /// Enables runtime soft-error injection at `rate` expected upsets
+    /// per stored bit per cycle, with a deterministic RNG `seed`.
+    pub fn seu(mut self, rate: f64, seed: u64) -> SystemBuilder {
+        self.seu = Some((rate, seed));
+        self
+    }
+
+    /// Validates every configured piece and assembles the system (in
+    /// HP mode, caches empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: a missing L1
+    /// ([`ConfigError::MissingCache`]), an invalid L1/L2 geometry, or
+    /// an invalid soft-error rate ([`ConfigError::InvalidSeuRate`]).
+    pub fn build(self) -> Result<System, ConfigError> {
+        let il1 = self.il1.ok_or(ConfigError::MissingCache { cache: "il1" })?;
+        let dl1 = self.dl1.ok_or(ConfigError::MissingCache { cache: "dl1" })?;
+        if let Some(l2) = &self.l2 {
+            l2.validate()?;
+        }
+        if let Some((rate, _)) = self.seu {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(ConfigError::InvalidSeuRate);
+            }
+        }
+        let config = SystemConfig {
+            il1,
+            dl1,
+            memory_latency: self.memory.latency,
+            tech: self.tech,
+            uncore_ten_t_sizing: self.uncore_ten_t_sizing,
+        };
+        let il1 = HybridCache::try_new(config.il1.clone(), Mode::Hp)?;
+        let dl1 = HybridCache::try_new(config.dl1.clone(), Mode::Hp)?;
         let power = PowerModel::new(&config);
-        System {
-            il1: HybridCache::new(config.il1.clone(), Mode::Hp),
-            dl1: HybridCache::new(config.dl1.clone(), Mode::Hp),
+        let memory = MainMemory::new(self.memory);
+        let below: Box<dyn MemoryLevel> = match self.l2 {
+            Some(l2) => Box::new(L2Cache::new(l2, Box::new(memory))),
+            None => Box::new(memory),
+        };
+        let (rate, seed) = self.seu.unwrap_or((0.0, DEFAULT_SEU_SEED));
+        Ok(System {
+            il1,
+            dl1,
+            below,
             power,
-            memory_latency: config.memory_latency,
-            seu_rate_per_bit_cycle: 0.0,
-            seu_rng: SmallRng::seed_from_u64(0x5E0_E44),
+            seu_rate_per_bit_cycle: rate,
+            seu_rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl System {
+    /// Starts a [`SystemBuilder`] with nothing configured.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Builds a system in HP mode from a legacy [`SystemConfig`]
+    /// (flat memory, no L2) — the historical constructor, now a shim
+    /// over [`System::builder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache configuration is invalid; use
+    /// `System::builder().config(config).build()` to handle the
+    /// [`ConfigError`] instead.
+    pub fn new(config: SystemConfig) -> Self {
+        match System::builder().config(config).build() {
+            Ok(system) => system,
+            Err(e) => panic!("invalid cache config: {e}"),
         }
     }
 
@@ -124,17 +296,33 @@ impl System {
         &mut self.dl1
     }
 
+    /// The memory hierarchy beneath the L1s.
+    pub fn below(&self) -> &dyn MemoryLevel {
+        self.below.as_ref()
+    }
+
+    /// Replaces the memory hierarchy beneath the L1s with a custom
+    /// [`MemoryLevel`] chain (a prefetcher, an ECC memory model, a
+    /// NUMA stack, ...). The engine charges whatever composed
+    /// latency/energy/EDC events the chain reports on each L1 miss.
+    pub fn set_hierarchy(&mut self, below: Box<dyn MemoryLevel>) {
+        self.below = below;
+    }
+
     /// The power model.
     pub fn power(&self) -> &PowerModel {
         &self.power
     }
 
     /// Runs `trace` to completion at `mode`, returning timing and
-    /// energy. Caches are flushed on entry (the mode transition) and
-    /// statistics are reset; installed fault maps persist.
-    pub fn run<I>(&mut self, trace: I, mode: Mode) -> RunReport
+    /// energy. Any [`TraceSource`] feeds the engine — the synthetic
+    /// generator, a [`hyvec_mediabench::Replay`] file, or a plain
+    /// iterator of entries. Caches are flushed on entry (the mode
+    /// transition) and statistics are reset; installed fault maps
+    /// persist.
+    pub fn run<T>(&mut self, trace: T, mode: Mode) -> RunReport
     where
-        I: IntoIterator<Item = TraceEntry>,
+        T: TraceSource,
     {
         self.run_at(trace, mode, mode.operating_point())
     }
@@ -142,45 +330,63 @@ impl System {
     /// Like [`run`](System::run) but at an explicit operating point —
     /// the DVS-sweep entry point (`mode` still decides which ways and
     /// codes are active).
-    pub fn run_at<I>(&mut self, trace: I, mode: Mode, op: OperatingPoint) -> RunReport
+    pub fn run_at<T>(&mut self, mut trace: T, mode: Mode, op: OperatingPoint) -> RunReport
     where
-        I: IntoIterator<Item = TraceEntry>,
+        T: TraceSource,
     {
         self.il1.set_mode(mode);
         self.dl1.set_mode(mode);
         self.il1.reset_stats();
         self.dl1.reset_stats();
+        self.below.flush();
+        self.below.reset_stats();
 
         let il1_edc_latency = self.power.il1.edc_latency_cycles(mode);
         let dl1_edc_latency = self.power.dl1.edc_latency_cycles(mode);
 
         // Soft-error bookkeeping: bits exposed in the powered ULE ways
-        // of both caches.
-        let ule_bits: u64 = [self.il1.config(), self.dl1.config()]
-            .iter()
-            .map(|c| {
-                c.ways
-                    .iter()
-                    .filter(|w| w.ule_enabled)
-                    .map(|w| {
-                        c.sets()
-                            * (c.words_per_line()
-                                * (u64::from(c.word_bits) + w.stored_check_bits() as u64)
-                                + u64::from(c.tag_bits)
-                                + w.stored_check_bits() as u64)
-                    })
-                    .sum::<u64>()
-            })
-            .sum();
+        // of both caches. The exposure count (and the whole SEU branch
+        // in the loop) is skipped entirely for the default fault-free
+        // runs, keeping the sweep hot path free of RNG work.
+        let seu_active = self.seu_rate_per_bit_cycle > 0.0;
+        let ule_bits: u64 = if seu_active {
+            [self.il1.config(), self.dl1.config()]
+                .iter()
+                .map(|c| {
+                    c.ways
+                        .iter()
+                        .filter(|w| w.ule_enabled)
+                        .map(|w| {
+                            c.sets()
+                                * (c.words_per_line()
+                                    * (u64::from(c.word_bits) + w.stored_check_bits() as u64)
+                                    + u64::from(c.tag_bits)
+                                    + w.stored_check_bits() as u64)
+                        })
+                        .sum::<u64>()
+                })
+                .sum()
+        } else {
+            0
+        };
+
+        // Dynamic energy spent below the L1s (zero for the default
+        // energy-free flat memory; folded into the `other` component
+        // so the paper's breakdown categories stay stable).
+        let mut below_pj = 0.0f64;
 
         let mut stats = RunStats::default();
-        for entry in trace {
+        while let Some(entry) = trace.next_entry() {
             stats.instructions += 1;
             let mut cycles = 1u64;
 
             let fetch = self.il1.access(entry.pc, false);
             if !fetch.hit {
-                let stall = u64::from(self.memory_latency + il1_edc_latency);
+                let fill = self.below.access(AccessRequest::read(entry.pc));
+                below_pj += fill.energy_pj;
+                stats.below_corrected += u64::from(fill.corrected);
+                stats.below_detected += u64::from(fill.detected);
+                let stall = u64::from(fill.latency_cycles + il1_edc_latency);
                 stats.il1_stall_cycles += stall;
                 stats.edc_stall_cycles += u64::from(il1_edc_latency);
                 cycles += stall;
@@ -193,7 +399,14 @@ impl System {
             if let Some(access) = entry.access {
                 let data = self.dl1.access(access.addr, access.is_write);
                 if !data.hit {
-                    let stall = u64::from(self.memory_latency + dl1_edc_latency);
+                    let fill = self.below.access(AccessRequest {
+                        addr: access.addr,
+                        is_write: access.is_write,
+                    });
+                    below_pj += fill.energy_pj;
+                    stats.below_corrected += u64::from(fill.corrected);
+                    stats.below_detected += u64::from(fill.detected);
+                    let stall = u64::from(fill.latency_cycles + dl1_edc_latency);
                     stats.dl1_stall_cycles += stall;
                     stats.edc_stall_cycles += u64::from(dl1_edc_latency);
                     cycles += stall;
@@ -214,7 +427,7 @@ impl System {
             stats.cycles += cycles;
 
             // Soft errors arrive at rate * bits per cycle.
-            if self.seu_rate_per_bit_cycle > 0.0 {
+            if seu_active {
                 let expected = self.seu_rate_per_bit_cycle * ule_bits as f64 * cycles as f64;
                 if self.seu_rng.gen::<f64>() < expected {
                     if self.seu_rng.gen::<bool>() {
@@ -228,8 +441,18 @@ impl System {
 
         stats.il1 = *self.il1.stats();
         stats.dl1 = *self.dl1.stats();
+        for (name, level) in self.below.chain_stats() {
+            match name {
+                "l2" => stats.l2 = Some(level),
+                "memory" => stats.memory_accesses = level.accesses,
+                _ => {}
+            }
+        }
 
-        let energy = self.power.breakdown_at(&stats, mode, op);
+        let mut energy = self.power.breakdown_at(&stats, mode, op);
+        if below_pj > 0.0 {
+            energy.other_pj += below_pj;
+        }
         RunReport {
             stats,
             energy,
@@ -389,6 +612,68 @@ mod tests {
         let r = sys.run(Benchmark::EpicC.trace(20_000, 1), Mode::Ule);
         assert_eq!(r.stats.corrected(), 0);
         assert_eq!(r.stats.silent_corruptions(), 0);
+    }
+
+    #[test]
+    fn builder_without_l1s_is_rejected() {
+        use crate::config::ConfigError;
+        assert_eq!(
+            System::builder().build().unwrap_err(),
+            ConfigError::MissingCache { cache: "il1" }
+        );
+        let cfg = SystemConfig::uniform_6t();
+        assert_eq!(
+            System::builder().il1(cfg.il1).build().unwrap_err(),
+            ConfigError::MissingCache { cache: "dl1" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_seu_and_l2() {
+        use crate::config::{ConfigError, L2Config};
+        let cfg = SystemConfig::uniform_6t();
+        let base = System::builder().config(cfg);
+        assert_eq!(
+            base.clone().seu(-1.0, 3).build().unwrap_err(),
+            ConfigError::InvalidSeuRate
+        );
+        assert_eq!(
+            base.clone().seu(f64::NAN, 3).build().unwrap_err(),
+            ConfigError::InvalidSeuRate
+        );
+        let mut l2 = L2Config::unified(32);
+        l2.ways = 0;
+        assert_eq!(base.l2(l2).build().unwrap_err(), ConfigError::NoWays);
+    }
+
+    #[test]
+    fn l2_reduces_miss_stalls_behind_slow_memory() {
+        use crate::config::{L2Config, MemoryConfig};
+        let cfg = baseline_a();
+        let flat = System::builder()
+            .config(cfg.clone())
+            .memory(MemoryConfig::with_latency(80))
+            .build()
+            .expect("flat system");
+        let mut flat = flat;
+        let mut with_l2 = System::builder()
+            .config(cfg)
+            .memory(MemoryConfig::with_latency(80))
+            .l2(L2Config::unified(64))
+            .build()
+            .expect("L2 system");
+        let f = flat.run(Benchmark::Mpeg2C.trace(40_000, 2), Mode::Hp);
+        let l = with_l2.run(Benchmark::Mpeg2C.trace(40_000, 2), Mode::Hp);
+        // Same L1 behavior, so the same misses descend...
+        assert_eq!(f.stats.il1, l.stats.il1);
+        assert_eq!(f.stats.dl1, l.stats.dl1);
+        // ...but the L2 absorbs part of each one's latency.
+        let l2_stats = l.stats.l2.expect("L2 stats recorded");
+        assert!(l2_stats.accesses > 0, "misses must reach the L2");
+        assert!(l2_stats.hits > 0, "the L2 must absorb some misses");
+        assert!(l.stats.cycles < f.stats.cycles);
+        assert!(l.stats.memory_accesses < f.stats.memory_accesses);
+        assert!(f.stats.l2.is_none(), "flat system reports no L2");
     }
 
     #[test]

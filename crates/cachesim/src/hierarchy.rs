@@ -1,0 +1,496 @@
+//! The composable memory hierarchy beneath (and including) the L1s.
+//!
+//! The paper's platform is a flat ~20-cycle memory behind split L1s,
+//! and the seed simulator hard-wired exactly that shape. This module
+//! opens it up: every storage level implements [`MemoryLevel`], and
+//! the engine ([`crate::engine::System`]) drives whatever chain the
+//! [`SystemBuilder`](crate::engine::SystemBuilder) composed — a bare
+//! [`MainMemory`] reproduces the paper's platform bit-for-bit, while
+//! inserting an [`L2Cache`] (or any custom level) changes only the
+//! miss path.
+//!
+//! Levels are composed by ownership: an [`L2Cache`] owns the level
+//! below it, and [`MemoryLevel::access`] returns the *composed*
+//! outcome of the whole chain from that level down — latency and
+//! energy summed along the miss path, with [`AccessOutcome::depth`]
+//! recording where the request was finally satisfied.
+
+use crate::cache::HybridCache;
+use crate::config::{L2Config, MemoryConfig};
+use crate::stats::CacheStats;
+use std::fmt;
+
+/// One memory request descending the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessRequest {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load/fetch.
+    pub is_write: bool,
+}
+
+impl AccessRequest {
+    /// A load/fetch request.
+    pub fn read(addr: u64) -> Self {
+        AccessRequest {
+            addr,
+            is_write: false,
+        }
+    }
+
+    /// A store request.
+    pub fn write(addr: u64) -> Self {
+        AccessRequest {
+            addr,
+            is_write: true,
+        }
+    }
+}
+
+/// The hierarchy level at which a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitDepth {
+    /// Satisfied by a first-level cache.
+    L1,
+    /// Satisfied by the unified second-level cache.
+    L2,
+    /// Satisfied by main memory (or an unmodeled backing store).
+    Memory,
+}
+
+/// Composed outcome of one hierarchy access: the contribution of the
+/// accessed level plus everything below it on the miss path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// Total latency of the access through this level and below,
+    /// cycles.
+    pub latency_cycles: u32,
+    /// Total dynamic energy of the access through this level and
+    /// below, pJ.
+    pub energy_pj: f64,
+    /// Bit errors corrected by EDC along the path.
+    pub corrected: u32,
+    /// Detected uncorrectable EDC events along the path.
+    pub detected: u32,
+    /// Where the request was satisfied.
+    pub depth: HitDepth,
+}
+
+/// One level of the memory hierarchy.
+///
+/// Implementations: [`HybridCache`] (the bit-accurate L1),
+/// [`L2Cache`], and the terminal [`MainMemory`]. Custom levels
+/// (prefetchers, scratchpads, NUMA models, ...) plug in the same way —
+/// the engine only ever sees this trait.
+pub trait MemoryLevel: fmt::Debug {
+    /// Performs one access, descending the chain on a miss.
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome;
+
+    /// Invalidates all cached state in this level and below (dirty
+    /// victims are counted as writebacks). Called on mode
+    /// transitions.
+    fn flush(&mut self);
+
+    /// Zeroes the statistics of this level and below.
+    fn reset_stats(&mut self);
+
+    /// Counters of this level and every level below it, top first,
+    /// keyed by a stable level name (`"l1"`, `"l2"`, `"memory"`).
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)>;
+}
+
+impl MemoryLevel for HybridCache {
+    /// A bare L1 as a hierarchy level. The functional cache refills
+    /// itself from the deterministic payload model, so a standalone
+    /// miss reports `depth: Memory` with zero latency (an unmodeled
+    /// backing store); when the engine drives the L1 it charges the
+    /// real fill path from the levels below and the EDC pipeline.
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let out = HybridCache::access(self, req.addr, req.is_write);
+        AccessOutcome {
+            latency_cycles: 0,
+            energy_pj: 0.0,
+            corrected: out.corrected,
+            detected: out.detected,
+            depth: if out.hit {
+                HitDepth::L1
+            } else {
+                HitDepth::Memory
+            },
+        }
+    }
+
+    fn flush(&mut self) {
+        let mode = self.mode();
+        self.set_mode(mode);
+    }
+
+    fn reset_stats(&mut self) {
+        HybridCache::reset_stats(self);
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        vec![("l1", *self.stats())]
+    }
+}
+
+/// The terminal level: a flat-latency main memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainMemory {
+    config: MemoryConfig,
+    stats: CacheStats,
+}
+
+impl MainMemory {
+    /// Builds the memory model.
+    pub fn new(config: MemoryConfig) -> Self {
+        MainMemory {
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+}
+
+impl MemoryLevel for MainMemory {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        if req.is_write {
+            self.stats.writes += 1;
+        }
+        AccessOutcome {
+            latency_cycles: self.config.latency,
+            energy_pj: self.config.access_energy_pj,
+            corrected: 0,
+            detected: 0,
+            depth: HitDepth::Memory,
+        }
+    }
+
+    fn flush(&mut self) {}
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        vec![("memory", self.stats)]
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct L2Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// A write-allocate, write-back unified L2 between the L1s and the
+/// level below it.
+///
+/// The L2 is a timing and energy model (tags + LRU only): the
+/// bit-accurate storage and EDC machinery stay in the L1 ways, where
+/// the paper's reliability argument lives. Both loads and stores
+/// allocate on miss; dirty victims are written back through a buffer,
+/// so the writeback is charged to the next level's counters and
+/// energy but not to the demand access's latency.
+#[derive(Debug)]
+pub struct L2Cache {
+    config: L2Config,
+    /// `sets x ways` line metadata.
+    lines: Vec<Vec<L2Line>>,
+    lru_clock: u64,
+    stats: CacheStats,
+    next: Box<dyn MemoryLevel>,
+}
+
+impl L2Cache {
+    /// Builds an empty L2 on top of `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`L2Config::validate`]).
+    pub fn new(config: L2Config, next: Box<dyn MemoryLevel>) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid L2 config: {e}");
+        }
+        let lines = (0..config.sets())
+            .map(|_| vec![L2Line::default(); config.ways])
+            .collect();
+        L2Cache {
+            config,
+            lines,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+            next,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &L2Config {
+        &self.config
+    }
+
+    /// This level's own counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let line_addr = addr / self.config.line_bytes;
+        (
+            line_addr % self.config.sets(),
+            line_addr / self.config.sets(),
+        )
+    }
+}
+
+impl MemoryLevel for L2Cache {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        let (set, tag) = self.index(req.addr);
+        self.lru_clock += 1;
+        self.stats.accesses += 1;
+        if req.is_write {
+            self.stats.writes += 1;
+        }
+
+        let ways = &mut self.lines[set as usize];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.lru_clock;
+            line.dirty |= req.is_write;
+            self.stats.hits += 1;
+            let energy = if req.is_write {
+                self.config.write_energy_pj
+            } else {
+                self.config.read_energy_pj
+            };
+            return AccessOutcome {
+                latency_cycles: self.config.hit_latency,
+                energy_pj: energy,
+                corrected: 0,
+                detected: 0,
+                depth: HitDepth::L2,
+            };
+        }
+
+        // Miss: pick the LRU victim, write back its dirty line
+        // (buffered — latency stays off the demand path), and fill
+        // from below. Write-allocate: stores install the line too.
+        self.stats.misses += 1;
+        let victim = (0..self.config.ways)
+            .min_by_key(|&w| (ways[w].valid, ways[w].lru))
+            .expect("L2 has at least one way");
+        let mut writeback_energy = 0.0;
+        if ways[victim].valid && ways[victim].dirty {
+            self.stats.writebacks += 1;
+            let victim_addr =
+                (ways[victim].tag * self.config.sets() + set) * self.config.line_bytes;
+            writeback_energy = self
+                .next
+                .access(AccessRequest::write(victim_addr))
+                .energy_pj;
+        }
+        let below = self.next.access(AccessRequest::read(req.addr));
+        let ways = &mut self.lines[set as usize];
+        ways[victim] = L2Line {
+            valid: true,
+            dirty: req.is_write,
+            tag,
+            lru: self.lru_clock,
+        };
+        self.stats.fills += 1;
+
+        AccessOutcome {
+            latency_cycles: self.config.hit_latency + below.latency_cycles,
+            energy_pj: self.config.read_energy_pj
+                + self.config.write_energy_pj
+                + writeback_energy
+                + below.energy_pj,
+            corrected: below.corrected,
+            detected: below.detected,
+            depth: below.depth,
+        }
+    }
+
+    fn flush(&mut self) {
+        for set in &mut self.lines {
+            for line in set.iter_mut() {
+                if line.valid && line.dirty {
+                    self.stats.writebacks += 1;
+                }
+                *line = L2Line::default();
+            }
+        }
+        self.next.flush();
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.next.reset_stats();
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        let mut chain = vec![("l2", self.stats)];
+        chain.extend(self.next.chain_stats());
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory(latency: u32) -> Box<dyn MemoryLevel> {
+        Box::new(MainMemory::new(MemoryConfig::with_latency(latency)))
+    }
+
+    fn small_l2(hit_latency: u32) -> L2Cache {
+        // 1KB, 2-way, 32B lines: 16 sets.
+        let config = L2Config {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 2,
+            hit_latency,
+            read_energy_pj: 2.0,
+            write_energy_pj: 3.0,
+        };
+        L2Cache::new(config, memory(20))
+    }
+
+    #[test]
+    fn main_memory_always_hits_at_its_latency() {
+        let mut mem = MainMemory::new(MemoryConfig {
+            latency: 35,
+            access_energy_pj: 1.5,
+        });
+        let out = mem.access(AccessRequest::read(0x40));
+        assert_eq!(out.latency_cycles, 35);
+        assert_eq!(out.energy_pj, 1.5);
+        assert_eq!(out.depth, HitDepth::Memory);
+        mem.access(AccessRequest::write(0x80));
+        let stats = mem.chain_stats()[0].1;
+        assert_eq!(stats.accesses, 2);
+        assert_eq!(stats.writes, 1);
+        mem.reset_stats();
+        assert_eq!(mem.chain_stats()[0].1.accesses, 0);
+    }
+
+    #[test]
+    fn l2_miss_then_hit_composes_latency() {
+        let mut l2 = small_l2(5);
+        let miss = l2.access(AccessRequest::read(0x1000));
+        assert_eq!(miss.latency_cycles, 25, "lookup + memory");
+        assert_eq!(miss.depth, HitDepth::Memory);
+        let hit = l2.access(AccessRequest::read(0x1004));
+        assert_eq!(hit.latency_cycles, 5, "same line hits at L2");
+        assert_eq!(hit.depth, HitDepth::L2);
+        assert_eq!(l2.stats().accesses, 2);
+        assert_eq!(l2.stats().misses, 1);
+        assert_eq!(l2.stats().hits, 1);
+        assert_eq!(l2.chain_stats()[1].1.accesses, 1, "one memory fetch");
+    }
+
+    #[test]
+    fn l2_write_allocates_and_writes_back() {
+        let mut l2 = small_l2(4);
+        let sets = l2.config().sets();
+        let line = l2.config().line_bytes;
+        // Store misses allocate (write-allocate).
+        l2.access(AccessRequest::write(0));
+        assert_eq!(l2.stats().fills, 1);
+        assert!(l2.access(AccessRequest::read(4)).depth == HitDepth::L2);
+        // Two more conflicting lines evict the dirty one -> writeback.
+        l2.access(AccessRequest::read(sets * line));
+        l2.access(AccessRequest::read(2 * sets * line));
+        assert_eq!(l2.stats().writebacks, 1);
+        // The writeback reached memory as a write.
+        let mem = l2.chain_stats()[1].1;
+        assert_eq!(mem.writes, 1);
+    }
+
+    #[test]
+    fn l2_lru_keeps_the_recently_touched_line() {
+        let mut l2 = small_l2(4);
+        let sets = l2.config().sets();
+        let line = l2.config().line_bytes;
+        l2.access(AccessRequest::read(0));
+        l2.access(AccessRequest::read(sets * line));
+        l2.access(AccessRequest::read(0)); // refresh
+        l2.access(AccessRequest::read(2 * sets * line)); // evicts the other
+        assert_eq!(l2.access(AccessRequest::read(0)).depth, HitDepth::L2);
+        assert_eq!(
+            l2.access(AccessRequest::read(sets * line)).depth,
+            HitDepth::Memory
+        );
+    }
+
+    #[test]
+    fn l2_flush_invalidates_and_counts_dirty_lines() {
+        let mut l2 = small_l2(4);
+        l2.access(AccessRequest::write(0));
+        l2.flush();
+        assert_eq!(l2.stats().writebacks, 1);
+        assert_eq!(l2.access(AccessRequest::read(0)).depth, HitDepth::Memory);
+    }
+
+    #[test]
+    fn l2_energy_composes_down_the_chain() {
+        let config = L2Config {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 2,
+            hit_latency: 4,
+            read_energy_pj: 2.0,
+            write_energy_pj: 3.0,
+        };
+        let mut l2 = L2Cache::new(
+            config,
+            Box::new(MainMemory::new(MemoryConfig {
+                latency: 20,
+                access_energy_pj: 10.0,
+            })),
+        );
+        // Miss: lookup (read) + fill (write) + memory fetch.
+        let miss = l2.access(AccessRequest::read(0));
+        assert!((miss.energy_pj - (2.0 + 3.0 + 10.0)).abs() < 1e-12);
+        // Hit: one lookup.
+        let hit = l2.access(AccessRequest::read(4));
+        assert!((hit.energy_pj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid L2 config")]
+    fn invalid_l2_geometry_panics() {
+        let mut config = L2Config::unified(32);
+        config.ways = 0;
+        L2Cache::new(config, memory(20));
+    }
+
+    #[test]
+    fn hybrid_cache_acts_as_a_level() {
+        use crate::config::{Mode, SystemConfig};
+        let mut l1 = HybridCache::new(SystemConfig::uniform_6t().il1, Mode::Hp);
+        let miss = MemoryLevel::access(&mut l1, AccessRequest::read(0x100));
+        assert_eq!(miss.depth, HitDepth::Memory);
+        let hit = MemoryLevel::access(&mut l1, AccessRequest::read(0x104));
+        assert_eq!(hit.depth, HitDepth::L1);
+        assert_eq!(hit.latency_cycles, 0, "L1 hits are latency-free");
+        let chain = l1.chain_stats();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].0, "l1");
+        assert_eq!(chain[0].1.accesses, 2);
+        MemoryLevel::flush(&mut l1);
+        assert_eq!(
+            MemoryLevel::access(&mut l1, AccessRequest::read(0x104)).depth,
+            HitDepth::Memory,
+            "flush invalidates"
+        );
+    }
+}

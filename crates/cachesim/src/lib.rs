@@ -16,9 +16,14 @@
 //!   corruptions;
 //! * [`faults`] — Monte-Carlo fault-map sampling from a bit-failure
 //!   probability;
+//! * [`hierarchy`] — the composable memory hierarchy below the L1s:
+//!   the [`hierarchy::MemoryLevel`] trait, a write-allocate unified
+//!   [`hierarchy::L2Cache`], and the terminal
+//!   [`hierarchy::MainMemory`] model;
 //! * [`engine`] — the in-order core timing model (1 IPC base, miss
-//!   stalls, EDC fill latency) driving both L1s from a
-//!   [`hyvec_mediabench`] trace;
+//!   stalls, EDC fill latency) driving both L1s from any
+//!   [`hyvec_mediabench::TraceSource`], with the fluent
+//!   [`engine::SystemBuilder`] assembling the machine;
 //! * [`power`] — Wattch-style event-based energy accounting on top of
 //!   the [`hyvec_cachemodel`] arrays, producing the EPI breakdowns of
 //!   the paper's Figures 3 and 4.
@@ -45,11 +50,13 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod faults;
+pub mod hierarchy;
 pub mod power;
 pub mod stats;
 
 pub use cache::HybridCache;
-pub use config::{CacheConfig, ConfigError, Mode, SystemConfig, WaySpec};
-pub use engine::{RunReport, System};
+pub use config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig, WaySpec};
+pub use engine::{RunReport, System, SystemBuilder};
+pub use hierarchy::{AccessRequest, HitDepth, L2Cache, MainMemory, MemoryLevel};
 pub use power::EnergyBreakdown;
 pub use stats::{CacheStats, RunStats};

@@ -17,6 +17,13 @@
 //!   ULE-sized 10T cells "so they operate properly at any voltage
 //!   level", exactly as in the paper, and the remaining core logic is
 //!   a fixed switched-capacitance per instruction.
+//!
+//! Energy spent *below* the L1s (an optional unified L2, main-memory
+//! accesses — see [`crate::hierarchy`]) is accumulated by the engine
+//! from each level's [`AccessOutcome`](crate::hierarchy::AccessOutcome)
+//! and folded into [`EnergyBreakdown::other_pj`], so the paper's
+//! Figure 3/4 component categories stay stable whatever hierarchy is
+//! configured.
 
 use crate::config::{CacheConfig, Mode, SystemConfig};
 use crate::stats::{CacheStats, RunStats};

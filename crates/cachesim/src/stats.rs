@@ -76,6 +76,18 @@ pub struct RunStats {
     pub il1: CacheStats,
     /// Data-cache statistics.
     pub dl1: CacheStats,
+    /// Unified-L2 statistics, when the hierarchy has an L2 level.
+    pub l2: Option<CacheStats>,
+    /// Requests that reached main memory (last-level misses plus
+    /// buffered writebacks).
+    pub memory_accesses: u64,
+    /// EDC corrections reported by hierarchy levels below the L1s
+    /// (the built-in L2/memory models report none; custom
+    /// `MemoryLevel` implementations surface theirs here).
+    pub below_corrected: u64,
+    /// Detected uncorrectable EDC events reported by levels below the
+    /// L1s.
+    pub below_detected: u64,
 }
 
 impl RunStats {
@@ -88,14 +100,16 @@ impl RunStats {
         }
     }
 
-    /// Total EDC corrections across both caches.
+    /// Total EDC corrections across both caches and the hierarchy
+    /// below them.
     pub fn corrected(&self) -> u64 {
-        self.il1.corrected + self.dl1.corrected
+        self.il1.corrected + self.dl1.corrected + self.below_corrected
     }
 
-    /// Total detected uncorrectable errors across both caches.
+    /// Total detected uncorrectable errors across both caches and the
+    /// hierarchy below them.
     pub fn detected(&self) -> u64 {
-        self.il1.detected + self.dl1.detected
+        self.il1.detected + self.dl1.detected + self.below_detected
     }
 
     /// Total silent corruptions across both caches.
@@ -105,13 +119,16 @@ impl RunStats {
 
     /// The run-level counters as `(machine key, value)` pairs (the
     /// per-cache counters are reachable via [`CacheStats::counters`]).
-    pub fn counters(&self) -> [(&'static str, u64); 5] {
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
         [
             ("instructions", self.instructions),
             ("cycles", self.cycles),
             ("il1_stall_cycles", self.il1_stall_cycles),
             ("dl1_stall_cycles", self.dl1_stall_cycles),
             ("edc_stall_cycles", self.edc_stall_cycles),
+            ("memory_accesses", self.memory_accesses),
+            ("below_corrected", self.below_corrected),
+            ("below_detected", self.below_detected),
         ]
     }
 }

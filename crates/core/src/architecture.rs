@@ -168,8 +168,14 @@ impl Architecture {
         // The uncore's always-on 10T arrays share the ULE-way sizing
         // in baseline and proposal alike.
         config.uncore_ten_t_sizing = design.sizing_10t;
-        config.il1.validate_or_panic();
-        config.dl1.validate_or_panic();
+        config
+            .il1
+            .validate()
+            .expect("generated IL1 geometry is valid");
+        config
+            .dl1
+            .validate()
+            .expect("generated DL1 geometry is valid");
 
         Ok(Architecture {
             scenario,

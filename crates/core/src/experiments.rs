@@ -12,6 +12,7 @@
 //! | [`ablation_ways`] | 7+1 vs 6+2 (Sec. IV-A) |
 //! | [`ablation_memory_latency`] | memory-latency insensitivity (Sec. IV-A) |
 //! | [`ablation_granularity`] | word-granularity protection choice |
+//! | [`ablation_l2`] | unified-L2 sweep over the open memory hierarchy |
 
 use crate::architecture::{Architecture, DesignPoint, Scenario};
 use crate::methodology::{design_ule_way, MethodologyInputs, UleWayDesign};
@@ -676,6 +677,108 @@ pub fn ablation_memory_latency(scenario: Scenario, params: ExperimentParams) -> 
 }
 
 // ---------------------------------------------------------------------
+// A5: L2 ablation (the memory hierarchy opened by `MemoryLevel`)
+// ---------------------------------------------------------------------
+
+/// One L2 design point of the L2 ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2Row {
+    /// L2 capacity in KB (0 = no L2: the paper's flat platform).
+    pub size_kb: u64,
+    /// L2 lookup latency, cycles (0 when no L2 is configured).
+    pub hit_latency: u32,
+    /// Cycles per instruction over BigBench.
+    pub cpi: f64,
+    /// Energy per instruction, pJ (L2 access energy included).
+    pub epi_pj: f64,
+    /// L2 hit ratio (0 when no L2 is configured).
+    pub l2_hit_ratio: f64,
+    /// Cycles stalled on IL1 misses.
+    pub il1_stall_cycles: u64,
+    /// Cycles stalled on DL1 misses.
+    pub dl1_stall_cycles: u64,
+    /// Requests that reached main memory.
+    pub memory_accesses: u64,
+}
+
+/// Memory latency of the L2 ablation, cycles. The paper's ~20-cycle
+/// flat memory leaves an L2 little to hide; a slow (embedded-DRAM
+/// class) backing store is where a second level earns its area.
+pub const ABLATION_L2_MEMORY_LATENCY: u32 = 80;
+
+/// Sweeps a unified L2 (none, then growing capacities at their default
+/// latencies) under the proposal design point, running BigBench at HP
+/// mode behind a slow memory ([`ABLATION_L2_MEMORY_LATENCY`]). Every
+/// row but the first routes L1 misses through the composable
+/// [`hyvec_cachesim::hierarchy::MemoryLevel`] chain
+/// (`L1s -> L2Cache -> MainMemory`) assembled by `System::builder()`.
+pub fn ablation_l2(scenario: Scenario, params: ExperimentParams) -> Vec<L2Row> {
+    use hyvec_cachesim::config::{L2Config, MemoryConfig};
+
+    let arch = Architecture::build_with(
+        scenario,
+        DesignPoint::Proposal,
+        &FailureModel::default(),
+        &MethodologyInputs::default(),
+        7,
+        1,
+        ABLATION_L2_MEMORY_LATENCY,
+    )
+    .expect("proposal architecture");
+
+    [None, Some(16u64), Some(64), Some(256)]
+        .iter()
+        .map(|&size_kb| {
+            let mut builder = System::builder()
+                .config(arch.config.clone())
+                .memory(MemoryConfig::with_latency(ABLATION_L2_MEMORY_LATENCY));
+            let mut hit_latency = 0;
+            if let Some(kb) = size_kb {
+                let l2 = L2Config::unified(kb);
+                hit_latency = l2.hit_latency;
+                builder = builder.l2(l2);
+            }
+            let mut system = builder.build().expect("valid hierarchy");
+
+            let mut instructions = 0u64;
+            let mut cycles = 0u64;
+            let mut energy_pj = 0.0;
+            let mut row = L2Row {
+                size_kb: size_kb.unwrap_or(0),
+                hit_latency,
+                cpi: 0.0,
+                epi_pj: 0.0,
+                l2_hit_ratio: 0.0,
+                il1_stall_cycles: 0,
+                dl1_stall_cycles: 0,
+                memory_accesses: 0,
+            };
+            let mut l2_hits = 0u64;
+            let mut l2_accesses = 0u64;
+            for b in Benchmark::BIG {
+                let r = system.run(b.trace(params.instructions, params.seed), Mode::Hp);
+                instructions += r.stats.instructions;
+                cycles += r.stats.cycles;
+                energy_pj += r.energy.total_pj();
+                row.il1_stall_cycles += r.stats.il1_stall_cycles;
+                row.dl1_stall_cycles += r.stats.dl1_stall_cycles;
+                row.memory_accesses += r.stats.memory_accesses;
+                if let Some(l2) = r.stats.l2 {
+                    l2_hits += l2.hits;
+                    l2_accesses += l2.accesses;
+                }
+            }
+            row.cpi = cycles as f64 / instructions as f64;
+            row.epi_pj = energy_pj / instructions as f64;
+            if l2_accesses > 0 {
+                row.l2_hit_ratio = l2_hits as f64 / l2_accesses as f64;
+            }
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A3: protection-granularity ablation
 // ---------------------------------------------------------------------
 
@@ -1009,6 +1112,42 @@ fn memlat_table(rows: &[MemLatRow]) -> Table {
     t
 }
 
+fn l2_tables(rows: &[L2Row]) -> Vec<Table> {
+    let mut points = Table::new("points")
+        .column(Column::new("size_kb").right(4))
+        .column(Column::new("hit_latency").right(2).prefix(" KB (hit "))
+        .column(Column::new("cpi").prefix(" cyc): CPI "))
+        .column(Column::new("epi_pj").prefix(", EPI "))
+        .column(Column::new("l2_hit_ratio").prefix(" pJ, L2 hits "));
+    for r in rows {
+        points.push_row(vec![
+            Cell::int(r.size_kb),
+            Cell::int(r.hit_latency),
+            Cell::float(r.cpi, 3),
+            Cell::float(r.epi_pj, 2),
+            Cell::percent(r.l2_hit_ratio),
+        ]);
+    }
+    let mut stalls = Table::new("stalls")
+        .column(Column::new("size_kb").right(4))
+        .column(Column::new("il1_stall_cycles").right(8).prefix(" KB: IL1 "))
+        .column(Column::new("dl1_stall_cycles").right(8).prefix(", DL1 "))
+        .column(
+            Column::new("memory_accesses")
+                .right(6)
+                .prefix(" stall cycles, memory accesses "),
+        );
+    for r in rows {
+        stalls.push_row(vec![
+            Cell::int(r.size_kb),
+            Cell::int(r.il1_stall_cycles),
+            Cell::int(r.dl1_stall_cycles),
+            Cell::int(r.memory_accesses),
+        ]);
+    }
+    vec![points, stalls]
+}
+
 fn voltage_table(rows: &[VoltageRow]) -> Table {
     let mut t = Table::new("voltage")
         .column(Column::new("ule_vdd_mv"))
@@ -1150,6 +1289,14 @@ scenario_experiment!(
     AblationVoltageExperiment,
     "ablation-voltage",
     |e, p| vec![voltage_table(&ablation_voltage(e.scenario, p))]
+);
+
+scenario_experiment!(
+    /// The L2 size/latency ablation (EPI + stall breakdown over the
+    /// composable memory hierarchy) as an [`Experiment`].
+    AblationL2Experiment,
+    "ablation-l2",
+    |e, p| l2_tables(&ablation_l2(e.scenario, p))
 );
 
 /// Hard faults + soft errors (DECTED vs SECDED, scenario B) as an
@@ -1320,6 +1467,40 @@ mod tests {
         }
         // Lower voltage -> bigger cells (both families).
         assert!(rows.first().unwrap().sizing_10t > rows.last().unwrap().sizing_10t);
+    }
+
+    #[test]
+    fn l2_ablation_exercises_the_hierarchy() {
+        let rows = ablation_l2(Scenario::A, quick());
+        assert_eq!(rows.len(), 4);
+        let flat = rows[0];
+        assert_eq!(flat.size_kb, 0);
+        assert_eq!(flat.l2_hit_ratio, 0.0, "no L2 -> no L2 hits");
+        assert!(flat.memory_accesses > 0);
+        // The 16KB point has the lowest lookup latency: the clearest
+        // win over the flat platform (at the short test instruction
+        // budget, compulsory misses still dominate the miss stream,
+        // so the hit ratio is modest but the latency hiding is real).
+        let l2 = rows[1];
+        assert!(
+            l2.l2_hit_ratio > 0.05,
+            "the L2 must absorb part of the miss stream: {}",
+            l2.l2_hit_ratio
+        );
+        assert!(l2.cpi < flat.cpi, "the L2 must hide memory latency");
+        assert!(
+            l2.il1_stall_cycles + l2.dl1_stall_cycles
+                < flat.il1_stall_cycles + flat.dl1_stall_cycles,
+            "stall breakdown must shrink with the L2"
+        );
+        assert!(
+            l2.memory_accesses < flat.memory_accesses,
+            "the L2 must filter memory traffic"
+        );
+        // Capacity monotonicity: more L2 never hits less.
+        for pair in rows[1..].windows(2) {
+            assert!(pair[1].l2_hit_ratio >= pair[0].l2_hit_ratio);
+        }
     }
 
     #[test]

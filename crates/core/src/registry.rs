@@ -8,13 +8,15 @@
 //! extend, no executor match arm, no renderer change.
 //!
 //! [`Registry::standard`] registers the paper's full evaluation
-//! matrix (every artifact × scenario cell, 20 experiments).
+//! matrix plus this reproduction's own ablations (every artifact ×
+//! scenario cell, 22 experiments).
 
 use crate::architecture::Scenario;
 use crate::experiments::{
-    AblationGranularityExperiment, AblationMemoryLatencyExperiment, AblationVoltageExperiment,
-    AblationWaysExperiment, AreaExperiment, Experiment, Fig3Experiment, Fig4Experiment,
-    MethodologyExperiment, PerformanceExperiment, ReliabilityExperiment, SoftErrorExperiment,
+    AblationGranularityExperiment, AblationL2Experiment, AblationMemoryLatencyExperiment,
+    AblationVoltageExperiment, AblationWaysExperiment, AreaExperiment, Experiment, Fig3Experiment,
+    Fig4Experiment, MethodologyExperiment, PerformanceExperiment, ReliabilityExperiment,
+    SoftErrorExperiment,
 };
 
 /// An ordered collection of registered experiments.
@@ -63,6 +65,9 @@ impl Registry {
         }
         for s in Scenario::ALL {
             r.register(Box::new(AblationVoltageExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationL2Experiment::new(s)));
         }
         r.register(Box::new(AblationGranularityExperiment));
         r
@@ -121,7 +126,7 @@ mod tests {
     #[test]
     fn standard_registry_covers_the_matrix() {
         let r = Registry::standard();
-        assert_eq!(r.len(), 20);
+        assert_eq!(r.len(), 22);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -133,6 +138,7 @@ mod tests {
                 "ablation-ways",
                 "ablation-memlat",
                 "ablation-voltage",
+                "ablation-l2",
             ] {
                 let id = format!("{prefix}/{s}");
                 assert!(r.get(&id).is_some(), "registry is missing {id}");
@@ -149,7 +155,7 @@ mod tests {
         let mut ids = registry.ids();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "duplicate experiment ids");
+        assert_eq!(ids.len(), 22, "duplicate experiment ids");
     }
 
     #[test]

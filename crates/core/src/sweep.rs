@@ -384,7 +384,7 @@ mod tests {
     #[test]
     fn matrix_covers_every_artifact_for_every_scenario() {
         let jobs = full_matrix(ExperimentParams::default());
-        assert_eq!(jobs.len(), 20);
+        assert_eq!(jobs.len(), 22);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -396,6 +396,7 @@ mod tests {
                 "ablation-ways",
                 "ablation-memlat",
                 "ablation-voltage",
+                "ablation-l2",
             ] {
                 let label = format!("{prefix}/{s}");
                 assert!(

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod replay;
 pub mod spec;
 pub mod trace;
 
+pub use replay::{Replay, ReplayError};
 pub use spec::{BenchClass, Pattern, Region, WorkloadSpec};
-pub use trace::{DataAccess, Trace, TraceEntry};
+pub use trace::{DataAccess, Trace, TraceEntry, TraceSource};
 
 use std::fmt;
 

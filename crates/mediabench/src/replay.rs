@@ -1,0 +1,293 @@
+//! Deterministic file-based trace replay.
+//!
+//! The synthetic generator ([`crate::Trace`]) covers the paper's
+//! workloads, but an open [`TraceSource`](crate::TraceSource) engine
+//! also wants to consume *recorded* traces — regression inputs, traces
+//! exported from another simulator, or hand-written microbenchmarks.
+//! This module defines a plain-text line format, a writer that emits
+//! it, and a [`Replay`] source that parses it back. The round trip is
+//! exact: `parse_trace(&write_trace(entries)) == entries`.
+//!
+//! # Line format
+//!
+//! One instruction per line, lower-case hexadecimal addresses without
+//! a `0x` prefix, fields separated by single spaces:
+//!
+//! ```text
+//! <pc>                  fetch only
+//! <pc> r <addr> <size>  fetch + load of <size> bytes
+//! <pc> w <addr> <size>  fetch + store of <size> bytes
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored, so files can
+//! carry comments and a header. `<size>` is decimal and must be 1–8
+//! (the range [`DataAccess`] models).
+//!
+//! # Example
+//!
+//! ```
+//! use hyvec_mediabench::replay::{parse_trace, write_trace, Replay};
+//! use hyvec_mediabench::Benchmark;
+//!
+//! let entries: Vec<_> = Benchmark::AdpcmC.trace(100, 1).collect();
+//! let text = write_trace(entries.iter().copied());
+//! assert_eq!(parse_trace(&text).unwrap(), entries);
+//! let replayed: Vec<_> = Replay::from_text(&text).unwrap().collect();
+//! assert_eq!(replayed, entries);
+//! ```
+
+use crate::trace::{DataAccess, TraceEntry};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Why a trace file could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A line did not match the format.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+            ReplayError::Io(e) => write!(f, "could not read trace: {e}"),
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// Serializes `entries` in the replay line format.
+pub fn write_trace(entries: impl IntoIterator<Item = TraceEntry>) -> String {
+    let mut out = String::new();
+    for e in entries {
+        match e.access {
+            None => {
+                let _ = writeln!(out, "{:x}", e.pc);
+            }
+            Some(a) => {
+                let dir = if a.is_write { 'w' } else { 'r' };
+                let _ = writeln!(out, "{:x} {dir} {:x} {}", e.pc, a.addr, a.size);
+            }
+        }
+    }
+    out
+}
+
+fn parse_hex(token: &str, what: &str, line: usize) -> Result<u64, ReplayError> {
+    u64::from_str_radix(token, 16).map_err(|e| ReplayError::Malformed {
+        line,
+        reason: format!("bad {what} {token:?}: {e}"),
+    })
+}
+
+/// Parses replay-format `text` into the entries it encodes.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Malformed`] (with a 1-based line number) on
+/// the first line that does not match the format.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, ReplayError> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let entry = match tokens.as_slice() {
+            [pc] => TraceEntry {
+                pc: parse_hex(pc, "pc", line)?,
+                access: None,
+            },
+            [pc, dir, addr, size] => {
+                let is_write = match *dir {
+                    "r" => false,
+                    "w" => true,
+                    other => {
+                        return Err(ReplayError::Malformed {
+                            line,
+                            reason: format!("bad direction {other:?} (want r or w)"),
+                        })
+                    }
+                };
+                let size: u8 = size.parse().map_err(|e| ReplayError::Malformed {
+                    line,
+                    reason: format!("bad size {size:?}: {e}"),
+                })?;
+                if !(1..=8).contains(&size) {
+                    return Err(ReplayError::Malformed {
+                        line,
+                        reason: format!("size {size} out of range 1-8"),
+                    });
+                }
+                TraceEntry {
+                    pc: parse_hex(pc, "pc", line)?,
+                    access: Some(DataAccess {
+                        addr: parse_hex(addr, "address", line)?,
+                        size,
+                        is_write,
+                    }),
+                }
+            }
+            _ => {
+                return Err(ReplayError::Malformed {
+                    line,
+                    reason: format!("expected 1 or 4 fields, got {}", tokens.len()),
+                })
+            }
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// A deterministic trace source replaying a recorded file: the
+/// file-backed counterpart of the synthetic [`crate::Trace`].
+///
+/// Parsing is eager, so construction surfaces every format error
+/// up front and iteration is infallible (a requirement of
+/// [`TraceSource`](crate::TraceSource)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    entries: Vec<TraceEntry>,
+    pos: usize,
+}
+
+impl Replay {
+    /// Parses a replay from in-memory text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Malformed`] on the first bad line.
+    pub fn from_text(text: &str) -> Result<Replay, ReplayError> {
+        Ok(Replay {
+            entries: parse_trace(text)?,
+            pos: 0,
+        })
+    }
+
+    /// Reads and parses a replay file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Io`] if the file cannot be read and
+    /// [`ReplayError::Malformed`] on the first bad line.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Replay, ReplayError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ReplayError::Io(format!("{}: {e}", path.display())))?;
+        Replay::from_text(&text)
+    }
+
+    /// The parsed entries (including ones already iterated past).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Total number of entries in the replay.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the replay holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Iterator for Replay {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        let entry = self.entries.get(self.pos).copied();
+        self.pos += 1;
+        entry
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.entries.len().saturating_sub(self.pos);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Replay {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let entries: Vec<_> = Benchmark::Mpeg2C.trace(5_000, 3).collect();
+        let text = write_trace(entries.iter().copied());
+        assert_eq!(parse_trace(&text).unwrap(), entries);
+        let replay = Replay::from_text(&text).unwrap();
+        assert_eq!(replay.len(), entries.len());
+        assert_eq!(replay.collect::<Vec<_>>(), entries);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# hyvec trace\n\n1000\n1004 r 2000 4\n  \n1008 w 2004 2\n";
+        let entries = parse_trace(text).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].pc, 0x1000);
+        let access = entries[2].access.unwrap();
+        assert!(access.is_write);
+        assert_eq!(access.addr, 0x2004);
+        assert_eq!(access.size, 2);
+    }
+
+    #[test]
+    fn malformed_lines_carry_their_line_number() {
+        let cases = [
+            ("1000\nnot-hex\n", 2, "bad pc"),
+            ("1000 x 2000 4\n", 1, "bad direction"),
+            ("1000 r 2000\n", 1, "expected 1 or 4 fields"),
+            ("1000 r 2000 4 9\n", 1, "expected 1 or 4 fields"),
+            ("1000 r 2000 0\n", 1, "out of range"),
+            ("1000 r 2000 9\n", 1, "out of range"),
+            ("1000 r zz 4\n", 1, "bad address"),
+        ];
+        for (text, line, needle) in cases {
+            match parse_trace(text) {
+                Err(ReplayError::Malformed { line: l, reason }) => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(reason.contains(needle), "{text:?}: {reason}");
+                }
+                other => panic!("{text:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_io() {
+        match Replay::from_file("/nonexistent/trace.txt") {
+            Err(ReplayError::Io(msg)) => assert!(msg.contains("trace.txt")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_replay_behaves() {
+        let mut r = Replay::from_text("# only comments\n").unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.size_hint(), (0, Some(0)));
+        assert_eq!(r.next(), None);
+    }
+}

@@ -5,6 +5,26 @@ use crate::spec::{Pattern, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Anything that can feed the simulation engine executed
+/// instructions, one [`TraceEntry`] at a time.
+///
+/// The engine (`hyvec_cachesim::System::run`) is generic over this
+/// trait, so the synthetic generator ([`Trace`]), a recorded file
+/// replayed through [`crate::replay::Replay`], and any plain iterator
+/// of entries are interchangeable inputs. Every
+/// `Iterator<Item = TraceEntry>` is a `TraceSource` via the blanket
+/// implementation below.
+pub trait TraceSource {
+    /// The next executed instruction, or `None` at end of trace.
+    fn next_entry(&mut self) -> Option<TraceEntry>;
+}
+
+impl<I: Iterator<Item = TraceEntry>> TraceSource for I {
+    fn next_entry(&mut self) -> Option<TraceEntry> {
+        self.next()
+    }
+}
+
 /// One data memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DataAccess {

@@ -61,6 +61,18 @@ proptest! {
         prop_assert_ne!(t1, t2);
     }
 
+    /// Any generated trace survives the replay round trip exactly:
+    /// `Trace` -> writer -> `replay` yields an identical entry list.
+    #[test]
+    fn replay_round_trips(b in arb_benchmark(), n in 1u64..3000, seed: u64) {
+        use hyvec_mediabench::replay::{parse_trace, write_trace, Replay};
+        let entries: Vec<_> = b.trace(n, seed).collect();
+        let text = write_trace(entries.iter().copied());
+        prop_assert_eq!(&parse_trace(&text).unwrap(), &entries);
+        let replayed: Vec<_> = Replay::from_text(&text).unwrap().collect();
+        prop_assert_eq!(replayed, entries);
+    }
+
     /// Sequential regions are walked with their declared stride
     /// (cursor arithmetic never skips or escapes).
     #[test]
