@@ -1,0 +1,11 @@
+//! Ablation A6: multi-core scaling behind a fixed shared L2 (EPI,
+//! per-core IPC, L2 hit ratio and contention-induced memory traffic
+//! for 1/2/4/8 cores).
+//!
+//! Thin shell over the `ablation-cores/*` experiments of the registry.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    hyvec_bench::cli::artifact_main("ablation_cores", &["ablation-cores"])
+}

@@ -17,7 +17,8 @@
 //!   area          L1 area comparison
 //!   reliability   yields + fault injection
 //!   soft-errors   hard faults + soft errors (DECTED vs SECDED)
-//!   ablations     way split, memory latency, voltage, L2, granularity
+//!   ablations     way split, memory latency, voltage, L2, cores,
+//!                 granularity
 //!   all           alias of run-all
 //! ```
 //!
@@ -49,6 +50,7 @@ fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
             "ablation-memlat",
             "ablation-voltage",
             "ablation-l2",
+            "ablation-cores",
             "ablation-granularity",
         ],
         _ => return None,

@@ -49,6 +49,8 @@ pub enum ConfigError {
     },
     /// The configured soft-error rate is negative or not finite.
     InvalidSeuRate,
+    /// A multi-core build was requested with zero cores.
+    NoCores,
 }
 
 impl fmt::Display for ConfigError {
@@ -85,6 +87,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidSeuRate => {
                 write!(f, "soft-error rate must be finite and >= 0")
+            }
+            ConfigError::NoCores => {
+                write!(f, "a multi-core system needs at least one core")
             }
         }
     }
@@ -260,23 +265,6 @@ impl CacheConfig {
             return Err(ConfigError::NoUleWay);
         }
         Ok(())
-    }
-
-    /// The historical panicking form of [`CacheConfig::validate`], for
-    /// call sites that treat an invalid geometry as a programming
-    /// error.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the [`ConfigError`] message if the geometry is
-    /// invalid.
-    #[deprecated(
-        note = "use validate()? or SystemBuilder::build() -> Result and handle the ConfigError"
-    )]
-    pub fn validate_or_panic(&self) {
-        if let Err(e) = self.validate() {
-            panic!("invalid cache config: {e}");
-        }
     }
 }
 
@@ -518,14 +506,6 @@ mod tests {
         assert!(ConfigError::NoUleWay
             .to_string()
             .contains("ULE way required"));
-    }
-
-    #[test]
-    #[should_panic(expected = "ULE way required")]
-    #[allow(deprecated)]
-    fn validate_or_panic_keeps_the_old_contract() {
-        let cfg = CacheConfig::l1_8kb(vec![WaySpec::hp_way(1.0, Protection::None); 8]);
-        cfg.validate_or_panic();
     }
 
     #[test]

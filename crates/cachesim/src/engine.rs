@@ -15,17 +15,177 @@
 
 use crate::cache::{HybridCache, WordSlot};
 use crate::config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig};
-use crate::hierarchy::{AccessRequest, L2Cache, MainMemory, MemoryLevel};
+use crate::hierarchy::{AccessRequest, HitDepth, L2Cache, MainMemory, MemoryLevel};
+use crate::multicore::MultiCoreSystem;
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::stats::RunStats;
 use hyvec_cachemodel::{OperatingPoint, TechnologyParams};
-use hyvec_mediabench::TraceSource;
+use hyvec_mediabench::{TraceEntry, TraceSource};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Default seed of the soft-error RNG (historical constant of
 /// `System::new`; [`SystemBuilder::seu`] overrides it).
 const DEFAULT_SEU_SEED: u64 = 0x5E0_E44;
+
+/// Per-core timing constants hoisted out of the instruction loop
+/// (identical across the cores of a [`MultiCoreSystem`], which share
+/// one configuration).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreTiming {
+    /// EDC pipeline latency charged on IL1 fills, cycles.
+    pub il1_edc_latency: u32,
+    /// EDC pipeline latency charged on DL1 fills, cycles.
+    pub dl1_edc_latency: u32,
+    /// DL1 line size, for splitting line-crossing data accesses.
+    pub dl1_line_bytes: u64,
+}
+
+/// The byte pieces of one data access split at cache-line boundaries.
+///
+/// A `DataAccess` is at most 8 bytes and lines are powers of two, so a
+/// fixed-capacity buffer suffices (8 pieces covers even degenerate
+/// 1-byte lines) and the hot path never allocates. A non-crossing
+/// access yields exactly one piece at the original address, keeping
+/// the historical single-lookup behavior bit-for-bit.
+pub(crate) struct AccessPieces {
+    pieces: [(u64, u8); 8],
+    len: usize,
+    next: usize,
+}
+
+impl Iterator for AccessPieces {
+    type Item = (u64, u8);
+
+    fn next(&mut self) -> Option<(u64, u8)> {
+        if self.next < self.len {
+            let piece = self.pieces[self.next];
+            self.next += 1;
+            Some(piece)
+        } else {
+            None
+        }
+    }
+}
+
+/// Splits `size` bytes at `addr` into per-line pieces. Accesses that
+/// stay within one line (the only kind the synthetic generators emit)
+/// come back unchanged as a single piece; a replayed or hand-built
+/// access that crosses a boundary is charged once per touched line.
+pub(crate) fn split_at_line_boundaries(addr: u64, size: u8, line_bytes: u64) -> AccessPieces {
+    debug_assert!(
+        size <= 8,
+        "DataAccess size {size} exceeds the documented 1-8 byte range"
+    );
+    let mut out = AccessPieces {
+        pieces: [(0, 0); 8],
+        len: 0,
+        next: 0,
+    };
+    let mut addr = addr;
+    let mut remaining = u64::from(size);
+    loop {
+        let room = line_bytes - (addr % line_bytes);
+        let take = remaining.min(room);
+        out.pieces[out.len] = (addr, take as u8);
+        out.len += 1;
+        remaining -= take;
+        if remaining == 0 {
+            return out;
+        }
+        if out.len == out.pieces.len() {
+            // Unreachable within the DataAccess contract (size <= 8
+            // needs at most 8 one-byte pieces). If a release build is
+            // handed a contract-violating size, charge the tail to
+            // the final piece rather than silently dropping bytes.
+            out.pieces[out.len - 1].1 = out.pieces[out.len - 1].1.saturating_add(remaining as u8);
+            return out;
+        }
+        addr += take;
+    }
+}
+
+/// Executes one trace entry against a core front end (IL1 + DL1) over
+/// the shared hierarchy below, returning the cycles it consumed.
+///
+/// This is the timing model of *one* in-order core, shared verbatim by
+/// [`System::run_at`] and the multi-core engine
+/// ([`MultiCoreSystem`]): one base cycle, miss
+/// stalls for the composed fill latency plus the EDC pipeline, one
+/// recovery bubble per correction, one read-modify-write bubble for
+/// sub-word stores into protected words. Data accesses that cross a
+/// DL1 line boundary are split and charged once per touched line.
+///
+/// `stats.memory_accesses` is incremented for every fill satisfied at
+/// [`HitDepth::Memory`] — the core's *demand* memory traffic. The
+/// single-core engine overwrites the field afterwards with the chain's
+/// own count (which additionally includes buffered writebacks); the
+/// multi-core engine keeps the per-core demand figure, since the
+/// shared chain cannot attribute writebacks to cores.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_entry(
+    il1: &mut HybridCache,
+    dl1: &mut HybridCache,
+    below: &mut dyn MemoryLevel,
+    timing: CoreTiming,
+    stats: &mut RunStats,
+    below_pj: &mut f64,
+    entry: TraceEntry,
+) -> u64 {
+    let mut cycles = 1u64;
+
+    let fetch = il1.access(entry.pc, false);
+    if !fetch.hit {
+        let fill = below.access(AccessRequest::read(entry.pc));
+        *below_pj += fill.energy_pj;
+        stats.below_corrected += u64::from(fill.corrected);
+        stats.below_detected += u64::from(fill.detected);
+        stats.memory_accesses += u64::from(fill.depth == HitDepth::Memory);
+        let stall = u64::from(fill.latency_cycles + timing.il1_edc_latency);
+        stats.il1_stall_cycles += stall;
+        stats.edc_stall_cycles += u64::from(timing.il1_edc_latency);
+        cycles += stall;
+    }
+    if fetch.corrected > 0 {
+        stats.edc_stall_cycles += 1;
+        cycles += 1;
+    }
+
+    if let Some(access) = entry.access {
+        for (addr, size) in
+            split_at_line_boundaries(access.addr, access.size, timing.dl1_line_bytes)
+        {
+            let data = dl1.access(addr, access.is_write);
+            if !data.hit {
+                let fill = below.access(AccessRequest {
+                    addr,
+                    is_write: access.is_write,
+                });
+                *below_pj += fill.energy_pj;
+                stats.below_corrected += u64::from(fill.corrected);
+                stats.below_detected += u64::from(fill.detected);
+                stats.memory_accesses += u64::from(fill.depth == HitDepth::Memory);
+                let stall = u64::from(fill.latency_cycles + timing.dl1_edc_latency);
+                stats.dl1_stall_cycles += stall;
+                stats.edc_stall_cycles += u64::from(timing.dl1_edc_latency);
+                cycles += stall;
+            }
+            if data.corrected > 0 {
+                stats.edc_stall_cycles += 1;
+                cycles += 1;
+            }
+            // Sub-word stores into an EDC-protected word need a
+            // read-modify-write to regenerate the check bits: one
+            // extra cycle.
+            if access.is_write && size < 4 && timing.dl1_edc_latency > 0 {
+                stats.edc_stall_cycles += 1;
+                cycles += 1;
+            }
+        }
+    }
+
+    cycles
+}
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -219,6 +379,54 @@ impl SystemBuilder {
             seu_rng: SmallRng::seed_from_u64(seed),
         })
     }
+
+    /// Validates the configuration and assembles a `cores`-core
+    /// machine: `cores` private split-L1 front ends (all built from
+    /// the same IL1/DL1 configuration) over **one** shared L2/memory
+    /// chain. See [`MultiCoreSystem`] for the execution model.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SystemBuilder::build`] rejects, plus
+    /// [`ConfigError::NoCores`] when `cores` is zero.
+    pub fn build_multi(self, cores: usize) -> Result<MultiCoreSystem, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        let il1_cfg = self
+            .il1
+            .clone()
+            .ok_or(ConfigError::MissingCache { cache: "il1" })?;
+        let dl1_cfg = self
+            .dl1
+            .clone()
+            .ok_or(ConfigError::MissingCache { cache: "dl1" })?;
+        // Core 0 (and the shared chain, power model and SEU state)
+        // comes from the single-core constructor, so the two paths
+        // can never diverge on validation or assembly.
+        let System {
+            il1,
+            dl1,
+            below,
+            power,
+            seu_rate_per_bit_cycle,
+            seu_rng,
+        } = self.build()?;
+        let mut fronts = vec![(il1, dl1)];
+        for _ in 1..cores {
+            fronts.push((
+                HybridCache::try_new(il1_cfg.clone(), Mode::Hp)?,
+                HybridCache::try_new(dl1_cfg.clone(), Mode::Hp)?,
+            ));
+        }
+        Ok(MultiCoreSystem::from_parts(
+            fronts,
+            below,
+            power,
+            seu_rate_per_bit_cycle,
+            seu_rng,
+        ))
+    }
 }
 
 impl System {
@@ -261,7 +469,8 @@ impl System {
 
     /// Flips one uniformly random stored bit among the ULE-way words
     /// of one cache (data and tag, payload and check bits alike).
-    fn inject_random_seu(cache: &mut HybridCache, rng: &mut SmallRng) {
+    /// Shared with the multi-core engine.
+    pub(crate) fn inject_random_seu(cache: &mut HybridCache, rng: &mut SmallRng) {
         let config = cache.config().clone();
         let ule_ways: Vec<usize> = config
             .ways
@@ -341,8 +550,11 @@ impl System {
         self.below.flush();
         self.below.reset_stats();
 
-        let il1_edc_latency = self.power.il1.edc_latency_cycles(mode);
-        let dl1_edc_latency = self.power.dl1.edc_latency_cycles(mode);
+        let timing = CoreTiming {
+            il1_edc_latency: self.power.il1.edc_latency_cycles(mode),
+            dl1_edc_latency: self.power.dl1.edc_latency_cycles(mode),
+            dl1_line_bytes: self.dl1.config().line_bytes,
+        };
 
         // Soft-error bookkeeping: bits exposed in the powered ULE ways
         // of both caches. The exposure count (and the whole SEU branch
@@ -378,52 +590,15 @@ impl System {
         let mut stats = RunStats::default();
         while let Some(entry) = trace.next_entry() {
             stats.instructions += 1;
-            let mut cycles = 1u64;
-
-            let fetch = self.il1.access(entry.pc, false);
-            if !fetch.hit {
-                let fill = self.below.access(AccessRequest::read(entry.pc));
-                below_pj += fill.energy_pj;
-                stats.below_corrected += u64::from(fill.corrected);
-                stats.below_detected += u64::from(fill.detected);
-                let stall = u64::from(fill.latency_cycles + il1_edc_latency);
-                stats.il1_stall_cycles += stall;
-                stats.edc_stall_cycles += u64::from(il1_edc_latency);
-                cycles += stall;
-            }
-            if fetch.corrected > 0 {
-                stats.edc_stall_cycles += 1;
-                cycles += 1;
-            }
-
-            if let Some(access) = entry.access {
-                let data = self.dl1.access(access.addr, access.is_write);
-                if !data.hit {
-                    let fill = self.below.access(AccessRequest {
-                        addr: access.addr,
-                        is_write: access.is_write,
-                    });
-                    below_pj += fill.energy_pj;
-                    stats.below_corrected += u64::from(fill.corrected);
-                    stats.below_detected += u64::from(fill.detected);
-                    let stall = u64::from(fill.latency_cycles + dl1_edc_latency);
-                    stats.dl1_stall_cycles += stall;
-                    stats.edc_stall_cycles += u64::from(dl1_edc_latency);
-                    cycles += stall;
-                }
-                if data.corrected > 0 {
-                    stats.edc_stall_cycles += 1;
-                    cycles += 1;
-                }
-                // Sub-word stores into an EDC-protected word need a
-                // read-modify-write to regenerate the check bits: one
-                // extra cycle.
-                if access.is_write && access.size < 4 && dl1_edc_latency > 0 {
-                    stats.edc_stall_cycles += 1;
-                    cycles += 1;
-                }
-            }
-
+            let cycles = execute_entry(
+                &mut self.il1,
+                &mut self.dl1,
+                self.below.as_mut(),
+                timing,
+                &mut stats,
+                &mut below_pj,
+                entry,
+            );
             stats.cycles += cycles;
 
             // Soft errors arrive at rate * bits per cycle.
@@ -441,6 +616,11 @@ impl System {
 
         stats.il1 = *self.il1.stats();
         stats.dl1 = *self.dl1.stats();
+        // The single-core report keeps the historical chain-reported
+        // memory count (demand fills *plus* buffered writebacks),
+        // discarding the loop's demand-only tally — and stays zero for
+        // custom chains that expose no "memory" level.
+        stats.memory_accesses = 0;
         for (name, level) in self.below.chain_stats() {
             match name {
                 "l2" => stats.l2 = Some(level),
@@ -612,6 +792,56 @@ mod tests {
         let r = sys.run(Benchmark::EpicC.trace(20_000, 1), Mode::Ule);
         assert_eq!(r.stats.corrected(), 0);
         assert_eq!(r.stats.silent_corruptions(), 0);
+    }
+
+    #[test]
+    fn split_pieces_cover_the_access_exactly() {
+        // Crossing accesses split at the boundary...
+        let pieces: Vec<_> = split_at_line_boundaries(30, 4, 32).collect();
+        assert_eq!(pieces, [(30, 2), (32, 2)]);
+        let pieces: Vec<_> = split_at_line_boundaries(31, 8, 32).collect();
+        assert_eq!(pieces, [(31, 1), (32, 7)]);
+        // ...aligned and boundary-ending accesses stay whole...
+        assert_eq!(
+            split_at_line_boundaries(28, 4, 32).collect::<Vec<_>>(),
+            [(28, 4)]
+        );
+        assert_eq!(
+            split_at_line_boundaries(24, 8, 32).collect::<Vec<_>>(),
+            [(24, 8)]
+        );
+        // ...and degenerate tiny lines still terminate.
+        let pieces: Vec<_> = split_at_line_boundaries(3, 8, 4).collect();
+        assert_eq!(pieces, [(3, 1), (4, 4), (8, 3)]);
+    }
+
+    #[test]
+    fn line_crossing_accesses_are_charged_per_touched_line() {
+        // The synthetic generators never emit line-crossing accesses,
+        // but replayed traces can: pin the chosen behavior — the
+        // access is split and each touched line is charged its own
+        // DL1 access (and fill, on a miss).
+        use hyvec_mediabench::{DataAccess, TraceEntry};
+        let cfg = SystemConfig::uniform_6t();
+        let line = cfg.dl1.line_bytes;
+        let mut sys = System::new(cfg);
+        let entry = |addr, size| TraceEntry {
+            pc: 0x1000_0000,
+            access: Some(DataAccess {
+                addr,
+                size,
+                is_write: false,
+            }),
+        };
+        // Non-crossing control: one lookup, one line filled.
+        let r = sys.run(vec![entry(0x2000_0000 + line - 4, 4)].into_iter(), Mode::Hp);
+        assert_eq!(r.stats.dl1.accesses, 1);
+        assert_eq!(r.stats.dl1.fills, 1);
+        // Crossing: two lookups, both lines filled, both stalls paid.
+        let r = sys.run(vec![entry(0x2000_0000 + line - 2, 4)].into_iter(), Mode::Hp);
+        assert_eq!(r.stats.dl1.accesses, 2, "crossing access charged per line");
+        assert_eq!(r.stats.dl1.fills, 2, "both lines are filled");
+        assert_eq!(r.stats.memory_accesses, 3, "IL1 fill + two DL1 fills");
     }
 
     #[test]

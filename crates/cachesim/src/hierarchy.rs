@@ -86,9 +86,14 @@ pub trait MemoryLevel: fmt::Debug {
     /// Performs one access, descending the chain on a miss.
     fn access(&mut self, req: AccessRequest) -> AccessOutcome;
 
-    /// Invalidates all cached state in this level and below (dirty
-    /// victims are counted as writebacks). Called on mode
-    /// transitions.
+    /// Invalidates all cached state in this level and below. Dirty
+    /// victims are counted as writebacks *and* written through to the
+    /// level below, so flush traffic lands in the same *event
+    /// counters* as demand-eviction traffic. Unlike a demand miss,
+    /// `flush` returns no [`AccessOutcome`], so the writebacks'
+    /// composed energy is not reported back to the caller (the engine
+    /// flushes only between runs, where it is out of scope by
+    /// design). Called on mode transitions.
     fn flush(&mut self);
 
     /// Zeroes the statistics of this level and below.
@@ -320,12 +325,21 @@ impl MemoryLevel for L2Cache {
     }
 
     fn flush(&mut self) {
-        for set in &mut self.lines {
-            for line in set.iter_mut() {
+        // Dirty victims leave through the same writeback path as
+        // demand evictions: the level below sees the write in its
+        // event counters, not just this level's writeback count. (The
+        // composed energy of these writes has nowhere to go — flush
+        // returns no outcome; see the trait doc.)
+        for set in 0..self.lines.len() {
+            for way in 0..self.config.ways {
+                let line = self.lines[set][way];
                 if line.valid && line.dirty {
                     self.stats.writebacks += 1;
+                    let victim_addr =
+                        (line.tag * self.config.sets() + set as u64) * self.config.line_bytes;
+                    self.next.access(AccessRequest::write(victim_addr));
                 }
-                *line = L2Line::default();
+                self.lines[set][way] = L2Line::default();
             }
         }
         self.next.flush();
@@ -438,6 +452,39 @@ mod tests {
         l2.flush();
         assert_eq!(l2.stats().writebacks, 1);
         assert_eq!(l2.access(AccessRequest::read(0)).depth, HitDepth::Memory);
+    }
+
+    #[test]
+    fn flush_charges_writeback_traffic_like_a_demand_eviction() {
+        // A dirty line leaving via flush must hit the level below
+        // exactly like the same line leaving via demand eviction.
+        let sets = small_l2(4).config().sets();
+        let line = small_l2(4).config().line_bytes;
+
+        // Path 1: dirty line evicted by two conflicting fills.
+        let mut demand = small_l2(4);
+        demand.access(AccessRequest::write(0));
+        demand.access(AccessRequest::read(sets * line));
+        demand.access(AccessRequest::read(2 * sets * line));
+        let demand_mem = demand.chain_stats()[1].1;
+
+        // Path 2: the same dirty line flushed out.
+        let mut flushed = small_l2(4);
+        flushed.access(AccessRequest::write(0));
+        flushed.flush();
+        let flushed_mem = flushed.chain_stats()[1].1;
+
+        assert_eq!(demand.stats().writebacks, 1);
+        assert_eq!(flushed.stats().writebacks, 1);
+        // Both paths delivered exactly one write to memory...
+        assert_eq!(demand_mem.writes, 1);
+        assert_eq!(
+            flushed_mem.writes, demand_mem.writes,
+            "flush writebacks must reach the level below"
+        );
+        // ...and the flush path performed no other memory traffic
+        // beyond the original demand fill.
+        assert_eq!(flushed_mem.accesses, 2, "one fill + one flush writeback");
     }
 
     #[test]

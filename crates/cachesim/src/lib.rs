@@ -24,6 +24,10 @@
 //!   stalls, EDC fill latency) driving both L1s from any
 //!   [`hyvec_mediabench::TraceSource`], with the fluent
 //!   [`engine::SystemBuilder`] assembling the machine;
+//! * [`multicore`] — the multi-core shape on top of the same pieces:
+//!   N private split-L1 front ends round-robin-interleaved over one
+//!   shared L2/memory chain
+//!   ([`SystemBuilder::build_multi`](engine::SystemBuilder::build_multi));
 //! * [`power`] — Wattch-style event-based energy accounting on top of
 //!   the [`hyvec_cachemodel`] arrays, producing the EPI breakdowns of
 //!   the paper's Figures 3 and 4.
@@ -51,6 +55,7 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod hierarchy;
+pub mod multicore;
 pub mod power;
 pub mod stats;
 
@@ -58,5 +63,6 @@ pub use cache::HybridCache;
 pub use config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig, WaySpec};
 pub use engine::{RunReport, System, SystemBuilder};
 pub use hierarchy::{AccessRequest, HitDepth, L2Cache, MainMemory, MemoryLevel};
+pub use multicore::{MultiCoreReport, MultiCoreSystem};
 pub use power::EnergyBreakdown;
 pub use stats::{CacheStats, RunStats};

@@ -1,0 +1,490 @@
+//! The multi-core engine: N private split-L1 front ends contending
+//! for one shared memory hierarchy.
+//!
+//! The paper's evaluation is single-core, but the composable
+//! [`MemoryLevel`] chain was built so
+//! new platform shapes could be assembled on top of it. This module
+//! adds the baseline shape every cache-reliability study assumes:
+//! several in-order cores, each with its own IL1/DL1 pair (the same
+//! hybrid-way, bit-accurate caches the single-core engine drives),
+//! all missing into a **single** shared L2/memory chain.
+//!
+//! # Execution model
+//!
+//! [`MultiCoreSystem::run`] drives the cores from a round-robin
+//! interleaving of N independent [`TraceSource`]s (one instruction
+//! per core per round, via [`hyvec_mediabench::Interleave`]); cores
+//! whose trace ends drop out of the rotation. Each core keeps its own
+//! cycle count — cores execute concurrently, so per-core time is what
+//! IPC means here — while *contention* appears architecturally: the
+//! cores' miss streams interleave in the shared L2, evicting each
+//! other's lines, which shows up as a lower shared-L2 hit ratio and
+//! more memory traffic than any core would generate alone. The shared
+//! chain is accessed in interleaving order, so runs are exactly
+//! reproducible (asserted by the determinism suite).
+//!
+//! Bandwidth arbitration (queueing at the shared L2 port) is *not*
+//! modeled; the contention cost is the architectural one above. Nor
+//! is idle-tail leakage: a core that drains its trace early is
+//! treated as gated off until the makespan (its energy integrates
+//! over its own active cycles only — see
+//! [`MultiCoreReport::total_energy_pj`]). Both simplifications match
+//! the deliberately simple in-order timing model of the single-core
+//! engine.
+//!
+//! # Example
+//!
+//! ```
+//! use hyvec_cachesim::config::{L2Config, MemoryConfig, Mode, SystemConfig};
+//! use hyvec_cachesim::engine::System;
+//! use hyvec_mediabench::Benchmark;
+//!
+//! let l1s = SystemConfig::uniform_6t();
+//! let mut system = System::builder()
+//!     .il1(l1s.il1.clone())
+//!     .dl1(l1s.dl1.clone())
+//!     .l2(L2Config::unified(64))
+//!     .memory(MemoryConfig::with_latency(80))
+//!     .build_multi(2)
+//!     .expect("valid configuration");
+//! let traces = vec![
+//!     Benchmark::GsmC.trace(5_000, 1),
+//!     Benchmark::Mpeg2C.trace(5_000, 2),
+//! ];
+//! let report = system.run(traces, Mode::Hp);
+//! assert_eq!(report.per_core.len(), 2);
+//! assert_eq!(report.instructions(), 10_000);
+//! assert!(report.l2.expect("shared L2").accesses > 0);
+//! ```
+
+use crate::cache::HybridCache;
+use crate::config::Mode;
+use crate::engine::{execute_entry, CoreTiming, RunReport, System};
+use crate::hierarchy::MemoryLevel;
+use crate::power::PowerModel;
+use crate::stats::{CacheStats, RunStats};
+use hyvec_cachemodel::OperatingPoint;
+use hyvec_mediabench::{Interleave, TraceEntry, TraceSource};
+use rand::rngs::SmallRng;
+
+/// Result of one multi-core run: per-core reports plus the merged
+/// counters of the shared hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreReport {
+    /// One [`RunReport`] per core, in core order. Per-core
+    /// `stats.memory_accesses` counts the core's *demand* fills that
+    /// reached memory; buffered writebacks are only attributable to
+    /// the shared chain and appear in [`MultiCoreReport::memory`].
+    pub per_core: Vec<RunReport>,
+    /// Counters of the shared L2, when the chain has one.
+    pub l2: Option<CacheStats>,
+    /// Counters of the shared memory level (demand fills plus
+    /// writebacks from every core).
+    pub memory: CacheStats,
+    /// The mode the run executed in.
+    pub mode: Mode,
+}
+
+impl MultiCoreReport {
+    /// Instructions executed across all cores.
+    pub fn instructions(&self) -> u64 {
+        self.per_core.iter().map(|r| r.stats.instructions).sum()
+    }
+
+    /// Total energy across all cores (each core's L1s + its share of
+    /// the hierarchy below), pJ.
+    ///
+    /// Each core's energy integrates over its *own active window*
+    /// (its cycle count): a core that drains its trace before the
+    /// makespan is treated as gated off — the same gated-Vdd
+    /// machinery the paper's HP ways use at ULE — so it leaks nothing
+    /// while the stragglers finish. Idle-tail leakage of an
+    /// *ungated* finished core is deliberately not modeled.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.per_core.iter().map(|r| r.energy.total_pj()).sum()
+    }
+
+    /// Energy per instruction over the whole machine, pJ (see
+    /// [`MultiCoreReport::total_energy_pj`] for the active-window
+    /// energy semantics).
+    pub fn epi_pj(&self) -> f64 {
+        let instructions = self.instructions();
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total_energy_pj() / instructions as f64
+        }
+    }
+
+    /// Hit ratio of the shared L2 (0 when the chain has none).
+    pub fn l2_hit_ratio(&self) -> f64 {
+        self.l2.map_or(0.0, |l2| l2.hit_ratio())
+    }
+
+    /// Cycles of the slowest core: the wall-clock length of the run,
+    /// since cores execute concurrently.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.per_core
+            .iter()
+            .map(|r| r.stats.cycles)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The multi-core machine: N private front ends (core + IL1 + DL1)
+/// over one shared [`MemoryLevel`] chain.
+///
+/// Built by [`SystemBuilder::build_multi`](crate::engine::SystemBuilder::build_multi);
+/// a 1-core instance reproduces [`System`] runs
+/// counter-for-counter (asserted in the test suite).
+#[derive(Debug)]
+pub struct MultiCoreSystem {
+    /// Per-core `(il1, dl1)` pairs.
+    fronts: Vec<(HybridCache, HybridCache)>,
+    /// The hierarchy shared by every core.
+    below: Box<dyn MemoryLevel>,
+    /// One power model (all cores share a configuration).
+    power: PowerModel,
+    /// Soft-error injection, as in [`System`]; an upset lands in the
+    /// caches of the core whose entry triggered it (the one accruing
+    /// the exposure cycles).
+    seu_rate_per_bit_cycle: f64,
+    seu_rng: SmallRng,
+}
+
+impl MultiCoreSystem {
+    /// Assembles the machine from parts the builder validated.
+    pub(crate) fn from_parts(
+        fronts: Vec<(HybridCache, HybridCache)>,
+        below: Box<dyn MemoryLevel>,
+        power: PowerModel,
+        seu_rate_per_bit_cycle: f64,
+        seu_rng: SmallRng,
+    ) -> Self {
+        MultiCoreSystem {
+            fronts,
+            below,
+            power,
+            seu_rate_per_bit_cycle,
+            seu_rng,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// The shared hierarchy beneath the L1s.
+    pub fn below(&self) -> &dyn MemoryLevel {
+        self.below.as_ref()
+    }
+
+    /// One core's caches, for fault injection (`core` panics when out
+    /// of range).
+    pub fn core_mut(&mut self, core: usize) -> (&mut HybridCache, &mut HybridCache) {
+        let (il1, dl1) = &mut self.fronts[core];
+        (il1, dl1)
+    }
+
+    /// Runs one trace per core to completion at `mode`, interleaving
+    /// round-robin at instruction granularity (core 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the core count.
+    pub fn run<T>(&mut self, sources: Vec<T>, mode: Mode) -> MultiCoreReport
+    where
+        T: TraceSource,
+    {
+        self.run_at(sources, mode, mode.operating_point())
+    }
+
+    /// Like [`run`](MultiCoreSystem::run) but at an explicit operating
+    /// point (the DVS-sweep entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the core count.
+    pub fn run_at<T>(&mut self, sources: Vec<T>, mode: Mode, op: OperatingPoint) -> MultiCoreReport
+    where
+        T: TraceSource,
+    {
+        assert_eq!(
+            sources.len(),
+            self.fronts.len(),
+            "need exactly one trace source per core"
+        );
+        self.run_interleaved(Interleave::new(sources), mode, op)
+    }
+
+    /// Runs an already-interleaved stream of `(core, entry)` pairs —
+    /// the general entry point behind [`run`](MultiCoreSystem::run),
+    /// for custom schedules (unequal time slices, bursty arrivals,
+    /// recorded multi-core traces).
+    ///
+    /// Caches are flushed on entry (the mode transition) and
+    /// statistics reset, as in [`System::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry names a core at or beyond the core count.
+    pub fn run_interleaved<I>(
+        &mut self,
+        entries: I,
+        mode: Mode,
+        op: OperatingPoint,
+    ) -> MultiCoreReport
+    where
+        I: IntoIterator<Item = (usize, TraceEntry)>,
+    {
+        for (il1, dl1) in &mut self.fronts {
+            il1.set_mode(mode);
+            dl1.set_mode(mode);
+            il1.reset_stats();
+            dl1.reset_stats();
+        }
+        self.below.flush();
+        self.below.reset_stats();
+
+        let timing = CoreTiming {
+            il1_edc_latency: self.power.il1.edc_latency_cycles(mode),
+            dl1_edc_latency: self.power.dl1.edc_latency_cycles(mode),
+            dl1_line_bytes: self.fronts[0].1.config().line_bytes,
+        };
+
+        // Soft-error exposure of one core's powered ULE bits (all
+        // cores share a configuration); the whole branch is skipped
+        // for the default fault-free runs.
+        let seu_active = self.seu_rate_per_bit_cycle > 0.0;
+        let ule_bits: u64 = if seu_active {
+            let (il1, dl1) = &self.fronts[0];
+            [il1.config(), dl1.config()]
+                .iter()
+                .map(|c| {
+                    c.ways
+                        .iter()
+                        .filter(|w| w.ule_enabled)
+                        .map(|w| {
+                            c.sets()
+                                * (c.words_per_line()
+                                    * (u64::from(c.word_bits) + w.stored_check_bits() as u64)
+                                    + u64::from(c.tag_bits)
+                                    + w.stored_check_bits() as u64)
+                        })
+                        .sum::<u64>()
+                })
+                .sum()
+        } else {
+            0
+        };
+
+        let n = self.fronts.len();
+        let mut stats = vec![RunStats::default(); n];
+        let mut below_pj = vec![0.0f64; n];
+        for (core, entry) in entries {
+            assert!(core < n, "entry for core {core} on a {n}-core system");
+            let (il1, dl1) = &mut self.fronts[core];
+            stats[core].instructions += 1;
+            let cycles = execute_entry(
+                il1,
+                dl1,
+                self.below.as_mut(),
+                timing,
+                &mut stats[core],
+                &mut below_pj[core],
+                entry,
+            );
+            stats[core].cycles += cycles;
+
+            if seu_active {
+                use rand::Rng;
+                let expected = self.seu_rate_per_bit_cycle * ule_bits as f64 * cycles as f64;
+                if self.seu_rng.gen::<f64>() < expected {
+                    let (il1, dl1) = &mut self.fronts[core];
+                    if self.seu_rng.gen::<bool>() {
+                        System::inject_random_seu(il1, &mut self.seu_rng);
+                    } else {
+                        System::inject_random_seu(dl1, &mut self.seu_rng);
+                    }
+                }
+            }
+        }
+
+        let chain = self.below.chain_stats();
+        let l2 = chain
+            .iter()
+            .find(|(name, _)| *name == "l2")
+            .map(|(_, s)| *s);
+        let memory = chain
+            .iter()
+            .find(|(name, _)| *name == "memory")
+            .map(|(_, s)| *s)
+            .unwrap_or_default();
+
+        let per_core = self
+            .fronts
+            .iter()
+            .zip(stats)
+            .zip(below_pj)
+            .map(|((front, mut stats), below_pj)| {
+                stats.il1 = *front.0.stats();
+                stats.dl1 = *front.1.stats();
+                let mut energy = self.power.breakdown_at(&stats, mode, op);
+                if below_pj > 0.0 {
+                    energy.other_pj += below_pj;
+                }
+                let seconds = stats.cycles as f64 * op.cycle_s();
+                RunReport {
+                    stats,
+                    energy,
+                    mode,
+                    seconds,
+                }
+            })
+            .collect();
+
+        MultiCoreReport {
+            per_core,
+            l2,
+            memory,
+            mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{L2Config, MemoryConfig, SystemConfig};
+    use crate::engine::System;
+    use hyvec_mediabench::Benchmark;
+
+    fn builder() -> crate::engine::SystemBuilder {
+        System::builder()
+            .config(SystemConfig::uniform_6t())
+            .memory(MemoryConfig::with_latency(80))
+            .l2(L2Config::unified(16))
+    }
+
+    #[test]
+    fn zero_cores_is_rejected() {
+        use crate::config::ConfigError;
+        assert_eq!(builder().build_multi(0).unwrap_err(), ConfigError::NoCores);
+    }
+
+    #[test]
+    fn one_core_matches_the_single_core_engine() {
+        // The multi-core engine with one core must reproduce System
+        // counter-for-counter: same caches, same chain, same timing.
+        let mut single = builder().build().expect("single");
+        let mut multi = builder().build_multi(1).expect("multi");
+        let trace = || Benchmark::Mpeg2C.trace(20_000, 3);
+        let s = single.run(trace(), Mode::Hp);
+        let m = multi.run(vec![trace()], Mode::Hp);
+        let core = &m.per_core[0];
+        assert_eq!(core.stats.instructions, s.stats.instructions);
+        assert_eq!(core.stats.cycles, s.stats.cycles);
+        assert_eq!(core.stats.il1, s.stats.il1);
+        assert_eq!(core.stats.dl1, s.stats.dl1);
+        assert_eq!(core.stats.il1_stall_cycles, s.stats.il1_stall_cycles);
+        assert_eq!(core.stats.dl1_stall_cycles, s.stats.dl1_stall_cycles);
+        assert_eq!(m.l2, s.stats.l2);
+        assert_eq!(m.memory.accesses, s.stats.memory_accesses);
+        assert_eq!(core.seconds, s.seconds);
+        // Energy matches except the per-core report keeps its demand
+        // memory count rather than the chain's total.
+        assert!((core.energy.total_pj() - s.energy.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interleaved_runs_are_deterministic() {
+        let sources = || {
+            (0..4)
+                .map(|i| Benchmark::BIG[i].trace(5_000, i as u64 + 1))
+                .collect::<Vec<_>>()
+        };
+        let mut a = builder().build_multi(4).expect("4 cores");
+        let mut b = builder().build_multi(4).expect("4 cores");
+        let ra = a.run(sources(), Mode::Hp);
+        let rb = b.run(sources(), Mode::Hp);
+        assert_eq!(ra, rb, "same sources must give identical reports");
+        // And re-running the same warm system matches too (run resets
+        // all state).
+        let ra2 = a.run(sources(), Mode::Hp);
+        assert_eq!(ra, ra2);
+    }
+
+    #[test]
+    fn cores_contend_for_the_shared_l2() {
+        // The same L1-overflowing program on 4 cores (each in its
+        // private address window) behind one small shared L2 must see
+        // a lower L2 hit ratio and more memory traffic per
+        // instruction than it does alone: the cores' disjoint working
+        // sets evict each other's lines.
+        use hyvec_mediabench::multiprogram_sources;
+        let mut one = builder().build_multi(1).expect("1 core");
+        let mut four = builder().build_multi(4).expect("4 cores");
+        let n = 20_000u64;
+        let r1 = one.run(multiprogram_sources(&[Benchmark::Mpeg2C], n, 1), Mode::Hp);
+        let r4 = four.run(
+            multiprogram_sources(&[Benchmark::Mpeg2C; 4], n, 1),
+            Mode::Hp,
+        );
+        let traffic =
+            |mem: &CacheStats, instructions: u64| mem.accesses as f64 / instructions as f64;
+        assert!(
+            traffic(&r4.memory, r4.instructions()) > traffic(&r1.memory, r1.instructions()),
+            "shared-L2 contention must raise per-instruction memory traffic: {} vs {}",
+            traffic(&r4.memory, r4.instructions()),
+            traffic(&r1.memory, r1.instructions())
+        );
+        assert!(
+            r4.l2_hit_ratio() < r1.l2_hit_ratio(),
+            "contention must depress the shared-L2 hit ratio: {} vs {}",
+            r4.l2_hit_ratio(),
+            r1.l2_hit_ratio()
+        );
+        assert_eq!(r4.per_core.len(), 4);
+        assert!(r4.makespan_cycles() >= r4.per_core.iter().map(|r| r.stats.cycles).max().unwrap());
+        // Per-core demand memory fills never exceed the chain's total
+        // (the chain additionally absorbs writebacks).
+        let demand: u64 = r4.per_core.iter().map(|r| r.stats.memory_accesses).sum();
+        assert!(demand <= r4.memory.accesses);
+        assert!(demand > 0);
+    }
+
+    #[test]
+    fn unequal_trace_lengths_drain_round_robin() {
+        let mut sys = builder().build_multi(2).expect("2 cores");
+        let short = Benchmark::AdpcmC.trace(1_000, 1);
+        let long = Benchmark::AdpcmD.trace(3_000, 2);
+        let r = sys.run(vec![short, long], Mode::Hp);
+        assert_eq!(r.per_core[0].stats.instructions, 1_000);
+        assert_eq!(r.per_core[1].stats.instructions, 3_000);
+    }
+
+    #[test]
+    fn soft_errors_reach_multi_core_caches() {
+        let mut sys = System::builder()
+            .config(SystemConfig::uniform_6t())
+            .seu(5e-8, 11)
+            .build_multi(2)
+            .expect("2 cores with SEU");
+        let sources = vec![
+            Benchmark::AdpcmC.trace(30_000, 1),
+            Benchmark::AdpcmD.trace(30_000, 2),
+        ];
+        let r = sys.run(sources, Mode::Ule);
+        let corrupted: u64 = r
+            .per_core
+            .iter()
+            .map(|c| c.stats.silent_corruptions())
+            .sum();
+        assert!(
+            corrupted > 0,
+            "unprotected 6T ULE ways must corrupt under accelerated SEUs"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`ablation_memory_latency`] | memory-latency insensitivity (Sec. IV-A) |
 //! | [`ablation_granularity`] | word-granularity protection choice |
 //! | [`ablation_l2`] | unified-L2 sweep over the open memory hierarchy |
+//! | [`ablation_cores`] | multi-core scaling behind a fixed shared L2 |
 
 use crate::architecture::{Architecture, DesignPoint, Scenario};
 use crate::methodology::{design_ule_way, MethodologyInputs, UleWayDesign};
@@ -779,6 +780,115 @@ pub fn ablation_l2(scenario: Scenario, params: ExperimentParams) -> Vec<L2Row> {
 }
 
 // ---------------------------------------------------------------------
+// A6: core-count ablation (multi-core over the shared L2)
+// ---------------------------------------------------------------------
+
+/// One core-count design point of the multi-core ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoresRow {
+    /// Number of cores sharing the L2.
+    pub cores: usize,
+    /// Energy per instruction over the whole machine, pJ.
+    pub epi_pj: f64,
+    /// Hit ratio of the shared L2.
+    pub l2_hit_ratio: f64,
+    /// Requests that reached main memory (demand fills + writebacks
+    /// from every core).
+    pub memory_accesses: u64,
+    /// Machine-wide memory accesses per 1000 executed instructions.
+    pub memory_per_kilo_instructions: f64,
+    /// Demand memory fills of core 0 per 1000 of *its* instructions —
+    /// the contention-induced traffic figure. Core 0 runs the same
+    /// program with the same stream at every core count, so any rise
+    /// is purely the other cores evicting its shared-L2 lines.
+    pub core0_memory_per_kilo: f64,
+    /// Per-core `(benchmark, IPC)`, in core order.
+    pub per_core_ipc: Vec<(Benchmark, f64)>,
+}
+
+/// Shared-L2 capacity of the core-count ablation, KB. Fixed across
+/// core counts so contention — not capacity — is the swept variable,
+/// and deliberately small (one program's working set fits, the
+/// 8-program mix is ~4x over) so the sweep traverses the whole regime
+/// from private-cache comfort to full thrash.
+pub const ABLATION_CORES_L2_KB: u64 = 16;
+
+/// Core counts swept by the multi-core ablation.
+pub const ABLATION_CORES_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The multi-program mix of the core-count ablation: core `i` runs
+/// program `i mod 6`. BigBench reordered so the L1-overflowing MPEG-2
+/// programs come first — every core count then actually re-references
+/// the shared L2, making its hit ratio a meaningful contention signal
+/// from the 1-core row on.
+pub const ABLATION_CORES_PROGRAMS: [Benchmark; 6] = [
+    Benchmark::Mpeg2C,
+    Benchmark::Mpeg2D,
+    Benchmark::GsmC,
+    Benchmark::GsmD,
+    Benchmark::G721C,
+    Benchmark::G721D,
+];
+
+/// Sweeps the core count (1/2/4/8 private split-L1 front ends behind
+/// one fixed [`ABLATION_CORES_L2_KB`]-KB shared L2 and a slow memory)
+/// under the proposal design point. Core `i` runs
+/// [`ABLATION_CORES_PROGRAMS`]`[i mod 6]` at HP mode in its own
+/// address window ([`hyvec_mediabench::multiprogram_sources`]),
+/// round-robin interleaved at instruction granularity by the
+/// multi-core engine
+/// ([`hyvec_cachesim::multicore::MultiCoreSystem`]).
+pub fn ablation_cores(scenario: Scenario, params: ExperimentParams) -> Vec<CoresRow> {
+    use hyvec_cachesim::config::{L2Config, MemoryConfig};
+    use hyvec_mediabench::multiprogram_sources;
+
+    let arch = Architecture::build_with(
+        scenario,
+        DesignPoint::Proposal,
+        &FailureModel::default(),
+        &MethodologyInputs::default(),
+        7,
+        1,
+        ABLATION_L2_MEMORY_LATENCY,
+    )
+    .expect("proposal architecture");
+
+    ABLATION_CORES_COUNTS
+        .iter()
+        .map(|&cores| {
+            let mut system = System::builder()
+                .config(arch.config.clone())
+                .memory(MemoryConfig::with_latency(ABLATION_L2_MEMORY_LATENCY))
+                .l2(L2Config::unified(ABLATION_CORES_L2_KB))
+                .build_multi(cores)
+                .expect("valid multi-core hierarchy");
+            let benchmarks: Vec<Benchmark> = (0..cores)
+                .map(|i| ABLATION_CORES_PROGRAMS[i % ABLATION_CORES_PROGRAMS.len()])
+                .collect();
+            let sources = multiprogram_sources(&benchmarks, params.instructions, params.seed);
+            let report = system.run(sources, Mode::Hp);
+            let instructions = report.instructions();
+            let core0 = &report.per_core[0].stats;
+            CoresRow {
+                cores,
+                epi_pj: report.epi_pj(),
+                l2_hit_ratio: report.l2_hit_ratio(),
+                memory_accesses: report.memory.accesses,
+                memory_per_kilo_instructions: 1000.0 * report.memory.accesses as f64
+                    / instructions as f64,
+                core0_memory_per_kilo: 1000.0 * core0.memory_accesses as f64
+                    / core0.instructions as f64,
+                per_core_ipc: benchmarks
+                    .iter()
+                    .zip(&report.per_core)
+                    .map(|(b, r)| (*b, r.stats.instructions as f64 / r.stats.cycles as f64))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A3: protection-granularity ablation
 // ---------------------------------------------------------------------
 
@@ -1148,6 +1258,43 @@ fn l2_tables(rows: &[L2Row]) -> Vec<Table> {
     vec![points, stalls]
 }
 
+fn cores_tables(rows: &[CoresRow]) -> Vec<Table> {
+    let mut scaling = Table::new("scaling")
+        .row_suffix(" per 1k instr")
+        .column(Column::new("cores").right(1))
+        .column(Column::new("epi_pj").prefix(" cores: EPI "))
+        .column(Column::new("l2_hit_ratio").prefix(" pJ, L2 hits "))
+        .column(Column::new("memory_accesses").right(6).prefix(", memory "))
+        .column(Column::new("memory_per_kilo_instructions").prefix(" ("))
+        .column(Column::new("core0_memory_per_kilo").prefix(" per 1k), core-0 demand "));
+    for r in rows {
+        scaling.push_row(vec![
+            Cell::int(r.cores as i64),
+            Cell::float(r.epi_pj, 2),
+            Cell::percent(r.l2_hit_ratio),
+            Cell::int(r.memory_accesses),
+            Cell::float(r.memory_per_kilo_instructions, 2),
+            Cell::float(r.core0_memory_per_kilo, 2),
+        ]);
+    }
+    let mut per_core = Table::new("per_core")
+        .column(Column::new("cores").right(1))
+        .column(Column::new("core").right(1).prefix("-core run, core "))
+        .column(Column::new("benchmark").left(7).prefix(": "))
+        .column(Column::new("ipc").prefix(" IPC "));
+    for r in rows {
+        for (core, (benchmark, ipc)) in r.per_core_ipc.iter().enumerate() {
+            per_core.push_row(vec![
+                Cell::int(r.cores as i64),
+                Cell::int(core as i64),
+                Cell::str(benchmark.to_string()),
+                Cell::float(*ipc, 3),
+            ]);
+        }
+    }
+    vec![scaling, per_core]
+}
+
 fn voltage_table(rows: &[VoltageRow]) -> Table {
     let mut t = Table::new("voltage")
         .column(Column::new("ule_vdd_mv"))
@@ -1297,6 +1444,15 @@ scenario_experiment!(
     AblationL2Experiment,
     "ablation-l2",
     |e, p| l2_tables(&ablation_l2(e.scenario, p))
+);
+
+scenario_experiment!(
+    /// The core-count ablation (1/2/4/8 cores behind a fixed shared
+    /// L2: EPI, per-core IPC, L2 hit ratio and contention-induced
+    /// memory traffic) as an [`Experiment`].
+    AblationCoresExperiment,
+    "ablation-cores",
+    |e, p| cores_tables(&ablation_cores(e.scenario, p))
 );
 
 /// Hard faults + soft errors (DECTED vs SECDED, scenario B) as an
@@ -1501,6 +1657,48 @@ mod tests {
         for pair in rows[1..].windows(2) {
             assert!(pair[1].l2_hit_ratio >= pair[0].l2_hit_ratio);
         }
+    }
+
+    #[test]
+    fn cores_ablation_exposes_contention() {
+        let rows = ablation_cores(Scenario::A, quick());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.cores).collect::<Vec<_>>(),
+            ABLATION_CORES_COUNTS
+        );
+        for r in &rows {
+            assert_eq!(r.per_core_ipc.len(), r.cores);
+            for (b, ipc) in &r.per_core_ipc {
+                assert!(
+                    *ipc > 0.0 && *ipc <= 1.0,
+                    "{}-core {b}: IPC {ipc} out of range",
+                    r.cores
+                );
+            }
+            assert!(r.epi_pj > 0.0);
+            assert!(r.memory_accesses > 0);
+        }
+        // Contention: core 0 runs the identical stream at every core
+        // count, so its demand traffic rises (and the shared L2's hit
+        // ratio falls) purely because the other cores evict its lines.
+        let one = &rows[0];
+        let eight = &rows[3];
+        assert!(
+            eight.core0_memory_per_kilo > one.core0_memory_per_kilo,
+            "contention must raise core 0's demand memory traffic: {} vs {}",
+            eight.core0_memory_per_kilo,
+            one.core0_memory_per_kilo
+        );
+        assert!(
+            eight.l2_hit_ratio < one.l2_hit_ratio,
+            "contention must depress the shared-L2 hit ratio: {} vs {}",
+            eight.l2_hit_ratio,
+            one.l2_hit_ratio
+        );
+        // And core 0 (same program, same stream) can only slow down
+        // when seven other programs contend for its L2 lines.
+        assert!(eight.per_core_ipc[0].1 <= one.per_core_ipc[0].1);
     }
 
     #[test]

@@ -9,14 +9,14 @@
 //!
 //! [`Registry::standard`] registers the paper's full evaluation
 //! matrix plus this reproduction's own ablations (every artifact ×
-//! scenario cell, 22 experiments).
+//! scenario cell, 24 experiments).
 
 use crate::architecture::Scenario;
 use crate::experiments::{
-    AblationGranularityExperiment, AblationL2Experiment, AblationMemoryLatencyExperiment,
-    AblationVoltageExperiment, AblationWaysExperiment, AreaExperiment, Experiment, Fig3Experiment,
-    Fig4Experiment, MethodologyExperiment, PerformanceExperiment, ReliabilityExperiment,
-    SoftErrorExperiment,
+    AblationCoresExperiment, AblationGranularityExperiment, AblationL2Experiment,
+    AblationMemoryLatencyExperiment, AblationVoltageExperiment, AblationWaysExperiment,
+    AreaExperiment, Experiment, Fig3Experiment, Fig4Experiment, MethodologyExperiment,
+    PerformanceExperiment, ReliabilityExperiment, SoftErrorExperiment,
 };
 
 /// An ordered collection of registered experiments.
@@ -68,6 +68,9 @@ impl Registry {
         }
         for s in Scenario::ALL {
             r.register(Box::new(AblationL2Experiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationCoresExperiment::new(s)));
         }
         r.register(Box::new(AblationGranularityExperiment));
         r
@@ -126,7 +129,7 @@ mod tests {
     #[test]
     fn standard_registry_covers_the_matrix() {
         let r = Registry::standard();
-        assert_eq!(r.len(), 22);
+        assert_eq!(r.len(), 24);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -139,6 +142,7 @@ mod tests {
                 "ablation-memlat",
                 "ablation-voltage",
                 "ablation-l2",
+                "ablation-cores",
             ] {
                 let id = format!("{prefix}/{s}");
                 assert!(r.get(&id).is_some(), "registry is missing {id}");
@@ -155,7 +159,7 @@ mod tests {
         let mut ids = registry.ids();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "duplicate experiment ids");
+        assert_eq!(ids.len(), 24, "duplicate experiment ids");
     }
 
     #[test]

@@ -196,23 +196,42 @@ impl JobTiming {
 }
 
 /// Everything a sweep run produces: the deterministic typed report
-/// plus the (non-deterministic) per-job wall-clock timings.
+/// plus the (non-deterministic) wall-clock timings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutcome {
     /// The merged report, sections in canonical order.
     pub report: Report,
-    /// Per-job wall time, in the same order as the sections.
+    /// Per-job wall time, in the same order as the sections
+    /// (canonical registry order, independent of which worker ran
+    /// which job).
     pub timings: Vec<JobTiming>,
+    /// Elapsed wall time of the whole sweep, nanoseconds. Under
+    /// parallel execution this is *less* than the per-job sum; both
+    /// figures are recorded explicitly in
+    /// [`SweepOutcome::bench_json`].
+    pub elapsed_wall_nanos: u128,
 }
 
 impl SweepOutcome {
+    /// Sum of the per-job wall times, nanoseconds: the total compute
+    /// spent, as opposed to the elapsed time the sweep occupied.
+    pub fn summed_job_wall_nanos(&self) -> u128 {
+        self.timings.iter().map(|t| t.wall_nanos).sum()
+    }
+
     /// Serializes the timings as the `BENCH_sweep.json` perf-trajectory
     /// artifact (hand-rolled JSON; see `crate::render` for escaping).
+    ///
+    /// Schema v2 records both time axes explicitly:
+    /// `elapsed_wall_ms` (start-to-finish, what a user waits for) and
+    /// `summed_job_wall_ms` (total compute across workers; under
+    /// `--jobs > 1` the two legitimately disagree — v1's single
+    /// `total_wall_ms` conflated them). The job array is always in
+    /// canonical registry order, regardless of worker interleaving.
     pub fn bench_json(&self) -> String {
-        let total: u128 = self.timings.iter().map(|t| t.wall_nanos).sum();
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"hyvec-bench-sweep/v1\",\n");
+        out.push_str("  \"schema\": \"hyvec-bench-sweep/v2\",\n");
         out.push_str(&format!(
             "  \"instructions\": {},\n",
             self.report.instructions
@@ -222,8 +241,12 @@ impl SweepOutcome {
             self.report.base_seed
         ));
         out.push_str(&format!(
-            "  \"total_wall_ms\": {:.3},\n",
-            total as f64 / 1e6
+            "  \"elapsed_wall_ms\": {:.3},\n",
+            self.elapsed_wall_nanos as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  \"summed_job_wall_ms\": {:.3},\n",
+            self.summed_job_wall_nanos() as f64 / 1e6
         ));
         out.push_str("  \"jobs\": [");
         for (i, t) in self.timings.iter().enumerate() {
@@ -346,11 +369,15 @@ impl SweepBuilder {
     /// number of worker threads and returns the merged report plus
     /// per-job timings.
     pub fn run_with(&self, registry: &Registry) -> SweepOutcome {
+        let sweep_start = Instant::now();
         let selected: Vec<(&dyn Experiment, u64)> = registry
             .iter()
             .filter(|e| self.selects(e.id()))
             .map(|e| (e, derive_seed(self.params.seed, e.id())))
             .collect();
+        // `par_map` returns results in input order, so the job array
+        // (like the report sections) is in canonical registry order no
+        // matter how the workers interleaved.
         let results: Vec<(Vec<Section>, JobTiming)> =
             par_map(&selected, self.jobs, |&(experiment, seed)| {
                 let start = Instant::now();
@@ -367,7 +394,11 @@ impl SweepBuilder {
             report.sections.extend(sections);
             timings.push(timing);
         }
-        SweepOutcome { report, timings }
+        SweepOutcome {
+            report,
+            timings,
+            elapsed_wall_nanos: sweep_start.elapsed().as_nanos(),
+        }
     }
 }
 
@@ -384,7 +415,7 @@ mod tests {
     #[test]
     fn matrix_covers_every_artifact_for_every_scenario() {
         let jobs = full_matrix(ExperimentParams::default());
-        assert_eq!(jobs.len(), 22);
+        assert_eq!(jobs.len(), 24);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -397,6 +428,7 @@ mod tests {
                 "ablation-memlat",
                 "ablation-voltage",
                 "ablation-l2",
+                "ablation-cores",
             ] {
                 let label = format!("{prefix}/{s}");
                 assert!(
@@ -485,10 +517,59 @@ mod tests {
             .jobs(2)
             .run();
         let json = outcome.bench_json();
-        assert!(json.contains("\"schema\": \"hyvec-bench-sweep/v1\""));
+        assert!(json.contains("\"schema\": \"hyvec-bench-sweep/v2\""));
         assert!(json.contains("\"id\": \"area/A\""));
         assert!(json.contains("\"id\": \"methodology/B\""));
-        assert!(json.contains("\"total_wall_ms\""));
+        // Both time axes are explicit: elapsed (what the caller
+        // waited) and the per-job sum (total compute).
+        assert!(json.contains("\"elapsed_wall_ms\""));
+        assert!(json.contains("\"summed_job_wall_ms\""));
+        assert!(!json.contains("total_wall_ms"), "v1 field must be gone");
+        assert!(outcome.elapsed_wall_nanos > 0);
+        assert_eq!(
+            outcome.summed_job_wall_nanos(),
+            outcome.timings.iter().map(|t| t.wall_nanos).sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn bench_json_job_order_is_canonical_under_any_worker_count() {
+        let params = ExperimentParams {
+            instructions: 1_000,
+            seed: 5,
+        };
+        let labels = |jobs: usize| {
+            SweepBuilder::new()
+                .params(params)
+                .artifacts(["methodology", "area", "fig3"])
+                .jobs(jobs)
+                .run()
+                .timings
+                .iter()
+                .map(|t| t.label.clone())
+                .collect::<Vec<_>>()
+        };
+        let serial = labels(1);
+        for jobs in [2, 8] {
+            assert_eq!(
+                serial,
+                labels(jobs),
+                "worker count {jobs} reordered the job array"
+            );
+        }
+        // And the order matches the report sections themselves.
+        let outcome = SweepBuilder::new()
+            .params(params)
+            .artifacts(["methodology", "area", "fig3"])
+            .jobs(4)
+            .run();
+        let sections: Vec<_> = outcome
+            .report
+            .sections
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
+        assert_eq!(serial, sections);
     }
 
     #[test]

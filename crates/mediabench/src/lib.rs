@@ -33,10 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod interleave;
 pub mod replay;
 pub mod spec;
 pub mod trace;
 
+pub use interleave::{
+    interleave_benchmarks, interleave_replay_texts, multiprogram_sources, per_core_seed, rebased,
+    Interleave, InterleaveError, Rebased, CORE_ADDRESS_STRIDE,
+};
 pub use replay::{Replay, ReplayError};
 pub use spec::{BenchClass, Pattern, Region, WorkloadSpec};
 pub use trace::{DataAccess, Trace, TraceEntry, TraceSource};
@@ -131,7 +136,9 @@ impl Benchmark {
 
 impl fmt::Display for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        // `pad`, not `write_str`, so width/alignment specifiers work
+        // in tabular output.
+        f.pad(self.name())
     }
 }
 

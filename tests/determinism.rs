@@ -79,6 +79,61 @@ fn section_seeds_use_the_shared_derivation() {
 }
 
 #[test]
+fn multi_core_interleaved_runs_are_jobs_invariant() {
+    // The ablation-cores sections simulate up to 8 round-robin
+    // interleaved cores over one shared L2; their output must be
+    // bit-reproducible whether the sweep runs serially or fanned
+    // across workers.
+    use hyvec_core::render::{render, Format};
+    use hyvec_core::sweep::SweepBuilder;
+    let sweep = |jobs: usize| {
+        SweepBuilder::new()
+            .params(quick())
+            .jobs(jobs)
+            .filter("ablation-cores/*")
+            .run()
+            .report
+    };
+    let serial = sweep(1);
+    assert_eq!(serial.sections.len(), 2, "ablation-cores/A and /B");
+    for jobs in [2, 4] {
+        let parallel = sweep(jobs);
+        for format in [Format::Text, Format::Json, Format::Csv] {
+            assert_eq!(
+                render(&serial, format),
+                render(&parallel, format),
+                "worker count {jobs} changed the multi-core {format} output"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_core_engine_is_bit_reproducible() {
+    // Below the sweep layer: two identical 4-core interleaved runs
+    // must produce identical per-core and chain statistics.
+    use hyvec_cachesim::config::{L2Config, MemoryConfig, Mode, SystemConfig};
+    use hyvec_cachesim::engine::System;
+    use hyvec_mediabench::{multiprogram_sources, Benchmark};
+    let build = || {
+        System::builder()
+            .config(SystemConfig::uniform_6t())
+            .memory(MemoryConfig::with_latency(80))
+            .l2(L2Config::unified(16))
+            .build_multi(4)
+            .expect("4-core system")
+    };
+    let benches = [
+        Benchmark::Mpeg2C,
+        Benchmark::Mpeg2D,
+        Benchmark::GsmC,
+        Benchmark::GsmD,
+    ];
+    let run = || build().run(multiprogram_sources(&benches, 10_000, 42), Mode::Hp);
+    assert_eq!(run(), run(), "4-core interleaved run must be reproducible");
+}
+
+#[test]
 fn structured_formats_are_jobs_invariant_too() {
     // The determinism contract extends beyond the text renderer: the
     // JSON and CSV outputs must also be independent of worker count.
