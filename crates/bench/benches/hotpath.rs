@@ -1,0 +1,49 @@
+//! Hot-path throughput harness: measures simulated accesses/sec on
+//! the canonical workloads (L1-hit, L2-hit, memory-miss, faulty-line)
+//! with the tiered fast path engaged vs the slow path forced, and
+//! writes the `BENCH_hotpath.json` artifact.
+//!
+//! ```text
+//! cargo bench --bench hotpath                 # full measurement
+//! cargo bench --bench hotpath -- --smoke      # CI smoke mode
+//! cargo bench --bench hotpath -- --out P.json # artifact path
+//! ```
+//!
+//! `--test` (what `cargo test --benches` passes) behaves like
+//! `--smoke`, so the harness doubles as a fast/slow equivalence smoke
+//! test. The default artifact path is relative to the working
+//! directory cargo gives the bench (the `hyvec-bench` package root).
+//! The measurement core lives in [`hyvec_bench::hotpath`], shared
+//! with `hyvec run-all`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut path = "BENCH_hotpath.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" | "--test" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // Ignore the harness flags cargo itself appends
+            // (`--bench`, `--nocapture`, ...).
+            _ => {}
+        }
+    }
+    let instructions = if smoke { 20_000 } else { 400_000 };
+    let report = hyvec_bench::hotpath::measure(instructions);
+    print!("{}", report.text());
+    if let Err(e) = std::fs::write(&path, report.json()) {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote hot-path throughput to {path}");
+    ExitCode::SUCCESS
+}

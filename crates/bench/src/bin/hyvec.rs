@@ -104,13 +104,33 @@ fn main() -> ExitCode {
     // Per-job wall times feed the perf trajectory; they are kept out
     // of the report so rendered output stays deterministic. run-all
     // always writes them; other commands only on explicit --bench-out.
-    let default_bench =
-        (command == "run-all" || command == "all").then(|| "BENCH_sweep.json".to_string());
+    let run_all = command == "run-all" || command == "all";
+    let default_bench = run_all.then(|| "BENCH_sweep.json".to_string());
     if let Some(path) = options.bench_out.clone().or(default_bench) {
         match hyvec_bench::cli::write_bench(&outcome, &path) {
             Ok(()) => eprintln!("wrote per-job wall times to {path}"),
             Err(e) => {
                 eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // An unfiltered run-all also refreshes the hot-path throughput
+    // artifact (fast vs forced-slow accesses/sec; see
+    // hyvec_bench::hotpath). Like the wall times it goes to a file +
+    // stderr, never the report; filtered runs skip the measurement so
+    // quick single-experiment checks stay quick.
+    if run_all && options.globs.is_empty() {
+        let hot = hyvec_bench::hotpath::measure(hyvec_bench::hotpath::RUN_ALL_INSTRUCTIONS);
+        let path = "BENCH_hotpath.json";
+        match std::fs::write(path, hot.json()) {
+            Ok(()) => eprintln!(
+                "wrote hot-path throughput to {path} (L1-hit fast path {:.2}x)",
+                hot.l1_hit_speedup().unwrap_or(0.0)
+            ),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod hotpath;
 
 // The render helpers live next to the sweep engine; re-exported here
 // to keep the seed's public API.

@@ -26,6 +26,7 @@ pub struct StuckBits {
 
 impl StuckBits {
     /// Applies the fault to a stored word as seen by a read.
+    #[inline]
     pub fn apply(&self, stored: u64) -> u64 {
         (stored & !self.mask) | (self.value & self.mask)
     }
@@ -52,6 +53,10 @@ pub struct WordSlot {
 struct Line {
     valid: bool,
     dirty: bool,
+    /// The plain (unencoded) tag this line was filled with. The fast
+    /// path compares against this directly; in a fault-free cache the
+    /// stored codeword decodes back to exactly this value.
+    tag: u64,
     /// Stored tag codeword (as written, before faults).
     tag_word: u64,
     /// Stored data codewords.
@@ -105,6 +110,29 @@ pub struct AccessOutcome {
 /// The functional hybrid set-associative cache.
 ///
 /// See the [module docs](self) for the storage model.
+///
+/// # Tiered access paths
+///
+/// [`HybridCache::access`] dispatches between two implementations
+/// with bit-identical counters:
+///
+/// * the **fast path** engages while the cache is *fault-free* — no
+///   stuck-at faults installed and no soft errors injected since the
+///   last flush ([`HybridCache::is_fault_free`]). Every stored word
+///   is then exactly the codeword the active code produced, so tag
+///   decode is an identity check, payload verification can never
+///   fail, and both are skipped entirely: a lookup is a plain tag
+///   compare and a hit touches only the LRU stamp;
+/// * the **slow path** runs the full EDC decode/verify machinery the
+///   moment any fault or soft error is present (or when forced via
+///   [`HybridCache::set_force_slow_path`], for equivalence tests and
+///   benchmarks).
+///
+/// Storage stays fully materialized in both tiers (fills and the
+/// fault-free write path keep every word a real codeword), so the
+/// cache can drop from fast to slow at any time — e.g. when
+/// [`HybridCache::set_stuck_bits`] arms a fault mid-run — without any
+/// re-encoding step.
 #[derive(Debug)]
 pub struct HybridCache {
     config: CacheConfig,
@@ -113,10 +141,18 @@ pub struct HybridCache {
     mode: Mode,
     lru_clock: u64,
     stats: CacheStats,
+    /// Whether any soft error has been injected since the last flush
+    /// (conservative: cleared only by [`HybridCache::set_mode`], which
+    /// invalidates every line the flip could still live in).
+    soft_flips: bool,
+    /// Diagnostic override: route every access through the slow path
+    /// even when fault-free.
+    force_slow: bool,
 }
 
 /// The deterministic payload written for a given word address; reads
 /// are checked against it to expose silent corruption.
+#[inline]
 pub fn value_for(word_addr: u64) -> u64 {
     // splitmix64 finalizer, truncated to 32 bits.
     let mut z = word_addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -175,6 +211,7 @@ impl HybridCache {
                     .map(|_| Line {
                         valid: false,
                         dirty: false,
+                        tag: 0,
                         tag_word: 0,
                         words: vec![0; words as usize],
                         lru: 0,
@@ -189,6 +226,8 @@ impl HybridCache {
             mode,
             lru_clock: 0,
             stats: CacheStats::default(),
+            soft_flips: false,
+            force_slow: false,
         })
     }
 
@@ -226,6 +265,27 @@ impl HybridCache {
         self.faults.values().map(|f| u64::from(f.count())).sum()
     }
 
+    /// Whether every stored word is guaranteed pristine: no stuck-at
+    /// faults installed and no soft error injected since the last
+    /// flush. While this holds, [`HybridCache::access`] runs the
+    /// EDC-free fast path (see the type docs).
+    pub fn is_fault_free(&self) -> bool {
+        self.faults.is_empty() && !self.soft_flips
+    }
+
+    /// Forces every access through the full EDC slow path even when
+    /// the cache is fault-free. Counters are bit-identical either way
+    /// (asserted by the equivalence property suite); this knob exists
+    /// so tests and `benches/hotpath.rs` can measure the armed slow
+    /// path against the fast path on the same fault-free workload.
+    pub fn set_force_slow_path(&mut self, force: bool) {
+        self.force_slow = force;
+    }
+
+    fn fast_path_ready(&self) -> bool {
+        !self.force_slow && self.faults.is_empty() && !self.soft_flips
+    }
+
     /// Flips one stored bit (a soft error / SEU). The flip lands in
     /// the *stored* word, so a later rewrite clears it.
     ///
@@ -240,6 +300,7 @@ impl HybridCache {
         } else {
             line.words[slot.slot as usize] ^= 1u64 << bit;
         }
+        self.soft_flips = true;
     }
 
     /// Switches operating mode, flushing the cache (dirty lines are
@@ -261,7 +322,23 @@ impl HybridCache {
         }
         self.stats.writebacks += writebacks;
         self.mode = mode;
+        // Every line a past soft error could still inhabit is now
+        // invalid, and a fill rewrites the whole line (tag included),
+        // so the flipped bits can never be observed again.
+        self.soft_flips = false;
         writebacks
+    }
+
+    /// The payload a clean read of the word at `word_addr` must
+    /// deliver: the deterministic value truncated to the configured
+    /// word width (the encoder ignores bits above `word_bits`).
+    fn expected_payload(&self, word_addr: u64) -> u64 {
+        let bits = self.config.word_bits;
+        if bits >= 64 {
+            value_for(word_addr)
+        } else {
+            value_for(word_addr) & ((1u64 << bits) - 1)
+        }
     }
 
     fn index(&self, addr: u64) -> (u64, u64) {
@@ -324,16 +401,86 @@ impl HybridCache {
 
     /// Performs one access. `addr` is a byte address; writes store the
     /// deterministic payload for the word, reads verify it.
+    ///
+    /// Dispatches between the fault-free fast path and the full EDC
+    /// slow path (see the type docs); the two produce bit-identical
+    /// counters and outcomes whenever both are applicable.
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
-        let mode = self.mode;
         let (set, tag) = self.index(addr);
-        let word_idx = (addr % self.config.line_bytes) / (u64::from(self.config.word_bits) / 8);
         self.lru_clock += 1;
         self.stats.accesses += 1;
         if is_write {
             self.stats.writes += 1;
         }
+        if self.fast_path_ready() {
+            self.access_fast(addr, is_write, set, tag)
+        } else {
+            // Both the word slot and the verified payload address
+            // derive from the configured word width (the same slot the
+            // fill wrote with `value_for`).
+            let word_bytes = u64::from(self.config.word_bits) / 8;
+            let word_idx = (addr % self.config.line_bytes) / word_bytes;
+            let word_addr = addr / word_bytes * word_bytes;
+            self.access_slow(addr, is_write, set, tag, word_idx, word_addr)
+        }
+    }
 
+    /// The fault-free fast path: no stored word can decode to anything
+    /// but the value written, so tag matching is a plain compare and
+    /// payload verification is skipped. Counters move exactly as in
+    /// [`HybridCache::access_slow`]: a fault-free slow access always
+    /// yields `corrected == detected == silent == 0`.
+    fn access_fast(&mut self, addr: u64, is_write: bool, set: u64, tag: u64) -> AccessOutcome {
+        let mode = self.mode;
+        let mut outcome = AccessOutcome::default();
+        // Last match wins, mirroring the slow lookup's scan order.
+        let mut hit_way = None;
+        for (w, way) in self.ways.iter().enumerate() {
+            if !way.spec.enabled(mode) {
+                continue;
+            }
+            let line = &way.lines[set as usize];
+            if line.valid && line.tag == tag {
+                hit_way = Some(w);
+            }
+        }
+        let way = match hit_way {
+            Some(w) => {
+                self.stats.hits += 1;
+                outcome.hit = true;
+                w
+            }
+            None => {
+                self.stats.misses += 1;
+                let victim = self.choose_victim(set);
+                outcome.writeback = self.fill(victim, set, tag, addr);
+                victim
+            }
+        };
+        let line = &mut self.ways[way].lines[set as usize];
+        if is_write {
+            // The stored word already holds the encoded deterministic
+            // payload (the fill materialized it, and a fault-free
+            // store would rewrite the identical codeword), so only
+            // the dirty bit moves.
+            line.dirty = true;
+        }
+        line.lru = self.lru_clock;
+        outcome
+    }
+
+    /// The full EDC path: decode every candidate tag, decode and
+    /// verify loaded payloads, re-encode stores.
+    fn access_slow(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        set: u64,
+        tag: u64,
+        word_idx: u64,
+        word_addr: u64,
+    ) -> AccessOutcome {
+        let mode = self.mode;
         let (hit_way, mut corrected, mut detected) = self.lookup(set, tag);
         let mut outcome = AccessOutcome::default();
 
@@ -356,7 +503,6 @@ impl HybridCache {
             set,
             slot: word_idx,
         };
-        let word_addr = addr / 4 * 4;
         if is_write {
             // Store: encode the new payload with the active code.
             let code = self.ways[way].data_code(mode);
@@ -366,18 +512,21 @@ impl HybridCache {
             line.dirty = true;
             line.lru = self.lru_clock;
         } else {
-            // Load: decode through faults and verify the payload.
+            // Load: decode through faults and verify the payload —
+            // truncated to the stored word width, exactly as the
+            // encoder stored it.
+            let expected = self.expected_payload(word_addr);
             let stored = self.read_stored(slot);
             let code = self.ways[way].data_code(mode);
             match code.decode(stored) {
                 Decoded::Clean { data } => {
-                    if data != value_for(word_addr) {
+                    if data != expected {
                         outcome.silent += 1;
                     }
                 }
                 Decoded::Corrected { data, errors } => {
                     corrected += errors;
-                    if data != value_for(word_addr) {
+                    if data != expected {
                         outcome.silent += 1;
                     }
                 }
@@ -396,6 +545,14 @@ impl HybridCache {
         outcome
     }
 
+    /// Picks the eviction victim among the ways enabled in the current
+    /// mode: the first invalid line, else the least-recently-used one.
+    ///
+    /// Ties on the LRU stamp are broken toward the **lowest-index
+    /// enabled way**. The strictly-increasing access clock never
+    /// stamps two valid lines equally on its own, but staged states
+    /// (tests, future bulk-load paths) can — so the choice is pinned
+    /// explicitly rather than left to the scan order.
     fn choose_victim(&self, set: u64) -> usize {
         let mode = self.mode;
         let mut best: Option<(usize, u64)> = None;
@@ -407,9 +564,14 @@ impl HybridCache {
             if !line.valid {
                 return w;
             }
-            match best {
-                Some((_, lru)) if line.lru >= lru => {}
-                _ => best = Some((w, line.lru)),
+            let strictly_older = match best {
+                None => true,
+                // `<`, not `<=`: on equal stamps the earlier
+                // (lowest-index) enabled way stays the victim.
+                Some((_, best_lru)) => line.lru < best_lru,
+            };
+            if strictly_older {
+                best = Some((w, line.lru));
             }
         }
         best.expect("at least one enabled way").0
@@ -434,6 +596,7 @@ impl HybridCache {
         let line = &mut self.ways[way].lines[set as usize];
         let writeback = line.valid && line.dirty;
         line.words = new_words;
+        line.tag = tag;
         line.tag_word = tag_encoded;
         line.valid = true;
         line.dirty = false;
@@ -709,5 +872,143 @@ mod tests {
         assert_eq!(value_for(0x1234), value_for(0x1234));
         assert_ne!(value_for(0x1234), value_for(0x1238));
         assert!(value_for(u64::MAX) <= u32::MAX as u64);
+    }
+
+    #[test]
+    fn verification_address_honors_configured_word_size() {
+        // Regression: the payload address used to be hard-coded to
+        // 4-byte words (`addr / 4 * 4`) while the slot index honored
+        // `word_bits`, so any non-32-bit word config miscounted clean
+        // reads as silent corruptions at word-interior offsets.
+        for word_bits in [16u32, 64] {
+            let mut cfg = SystemConfig::uniform_6t().il1;
+            cfg.word_bits = word_bits;
+            cfg.validate().expect("geometry stays valid");
+            let mut c = HybridCache::new(cfg, Mode::Hp);
+            // Force the verifying slow path: the fast path skips the
+            // payload check entirely.
+            c.set_force_slow_path(true);
+            for addr in (0..512).step_by(4) {
+                c.access(addr, true);
+            }
+            for addr in (0..512).step_by(4) {
+                let out = c.access(addr, false);
+                assert_eq!(
+                    out.silent, 0,
+                    "{word_bits}-bit words: false corruption at {addr:#x}"
+                );
+                assert_eq!(out.detected, 0);
+            }
+            assert_eq!(c.stats().silent_corruptions, 0);
+        }
+    }
+
+    fn two_ule_ways_cache(mode: Mode) -> HybridCache {
+        // Ways 0-1 are HP-only (disabled at ULE), ways 2-3 stay on.
+        let mut ways = vec![crate::config::WaySpec::hp_way(1.0, Protection::None); 2];
+        for _ in 0..2 {
+            ways.push(crate::config::WaySpec::ule_way(
+                CellKind::Sram8T,
+                1.8,
+                Protection::None,
+                Protection::None,
+            ));
+        }
+        HybridCache::new(CacheConfig::l1_8kb(ways), mode)
+    }
+
+    #[test]
+    fn victim_ties_break_to_the_lowest_index_enabled_way() {
+        let mut c = two_ule_ways_cache(Mode::Ule);
+        let sets = c.config().sets();
+        let line = c.config().line_bytes;
+        // Invalid lines: the first *enabled* way wins, skipping the
+        // HP ways that are gated off at ULE.
+        c.access(0, false);
+        assert!(c.ways[2].lines[0].valid, "lowest enabled way fills first");
+        assert!(!c.ways[0].lines[0].valid, "disabled ways must be skipped");
+        c.access(sets * line, false);
+        assert!(c.ways[3].lines[0].valid);
+        // Stage an exact LRU tie between the two valid lines: the
+        // documented tie-break evicts the lowest-index enabled way.
+        c.ways[2].lines[0].lru = 7;
+        c.ways[3].lines[0].lru = 7;
+        let survivor_tag = c.ways[3].lines[0].tag;
+        c.access(2 * sets * line, false);
+        assert_eq!(
+            c.ways[3].lines[0].tag, survivor_tag,
+            "higher-index way must survive the tie"
+        );
+        assert_ne!(c.ways[2].lines[0].tag, 0, "way 2 holds the new line");
+        // At HP every way participates again: a fresh cache fills
+        // way 0 first.
+        let mut c = two_ule_ways_cache(Mode::Hp);
+        c.access(0, false);
+        assert!(c.ways[0].lines[0].valid);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_counter_for_counter() {
+        let mut fast = cache();
+        let mut slow = cache();
+        slow.set_force_slow_path(true);
+        assert!(fast.is_fault_free());
+        let sets = fast.config().sets();
+        let line = fast.config().line_bytes;
+        // Hits, misses, conflict evictions, dirty writebacks.
+        let mut addrs = Vec::new();
+        for i in 0u64..600 {
+            addrs.push((i.wrapping_mul(2654435761) % (12 * sets * line)) & !3);
+        }
+        for (i, &addr) in addrs.iter().enumerate() {
+            let is_write = i % 3 == 1;
+            let a = fast.access(addr, is_write);
+            let b = slow.access(addr, is_write);
+            assert_eq!(a, b, "outcome diverged at access {i} ({addr:#x})");
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        // And the stored state is identical too: arming the slow path
+        // afterwards reads back every line cleanly.
+        fast.set_force_slow_path(true);
+        for &addr in &addrs {
+            let out = fast.access(addr, false);
+            assert_eq!(out.silent, 0);
+            assert_eq!(out.detected, 0);
+        }
+    }
+
+    #[test]
+    fn fault_free_tracking_arms_and_disarms_the_fast_path() {
+        let mut c = cache();
+        assert!(c.is_fault_free());
+        c.access(0, false);
+        let slot = WordSlot {
+            way: 0,
+            set: 0,
+            slot: 0,
+        };
+        // Installing and removing a stuck bit toggles the state.
+        c.set_stuck_bits(slot, StuckBits { mask: 1, value: 0 });
+        assert!(!c.is_fault_free());
+        c.set_stuck_bits(slot, StuckBits { mask: 0, value: 0 });
+        assert!(c.is_fault_free());
+        // A soft error disarms the fast path and is actually seen by
+        // the unprotected slow path...
+        let way = (0..8)
+            .find(|&w| c.ways[w].lines[0].valid)
+            .expect("line filled");
+        let hit_slot = WordSlot {
+            way,
+            set: 0,
+            slot: 0,
+        };
+        c.inject_soft_error(hit_slot, 3);
+        assert!(!c.is_fault_free());
+        let out = c.access(0, false);
+        assert!(out.hit);
+        assert_eq!(out.silent, 1, "flip must be delivered silently (6T/none)");
+        // ...and the flush on a mode switch restores the fast path.
+        c.set_mode(Mode::Hp);
+        assert!(c.is_fault_free());
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::cache::{HybridCache, WordSlot};
 use crate::config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig};
-use crate::hierarchy::{AccessRequest, HitDepth, L2Cache, MainMemory, MemoryLevel};
+use crate::hierarchy::{AccessRequest, Hierarchy, HitDepth, L2Cache, MainMemory, MemoryLevel};
 use crate::multicore::MultiCoreSystem;
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::stats::RunStats;
@@ -122,11 +122,17 @@ pub(crate) fn split_at_line_boundaries(addr: u64, size: u8, line_bytes: u64) -> 
 /// own count (which additionally includes buffered writebacks); the
 /// multi-core engine keeps the per-core demand figure, since the
 /// shared chain cannot attribute writebacks to cores.
+///
+/// Generic over the chain below: the engines match the [`Hierarchy`]
+/// variant once per run and call this with the concrete stock type
+/// ([`crate::hierarchy::L1OverMemory`] /
+/// [`crate::hierarchy::L1OverL2`]), so the miss path compiles to
+/// static calls; `dyn MemoryLevel` (`?Sized`) covers custom chains.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn execute_entry(
+pub(crate) fn execute_entry<B: MemoryLevel + ?Sized>(
     il1: &mut HybridCache,
     dl1: &mut HybridCache,
-    below: &mut dyn MemoryLevel,
+    below: &mut B,
     timing: CoreTiming,
     stats: &mut RunStats,
     below_pj: &mut f64,
@@ -187,6 +193,42 @@ pub(crate) fn execute_entry(
     cycles
 }
 
+/// The single-core instruction loop, generic over the chain below so
+/// each stock [`Hierarchy`] shape compiles its own copy with static
+/// dispatch (custom chains instantiate it with `dyn MemoryLevel`).
+#[allow(clippy::too_many_arguments)]
+fn run_loop<T: TraceSource, B: MemoryLevel + ?Sized>(
+    trace: &mut T,
+    il1: &mut HybridCache,
+    dl1: &mut HybridCache,
+    below: &mut B,
+    timing: CoreTiming,
+    seu_rate: f64,
+    ule_bits: u64,
+    seu_rng: &mut SmallRng,
+    stats: &mut RunStats,
+    below_pj: &mut f64,
+) {
+    let seu_active = seu_rate > 0.0;
+    while let Some(entry) = trace.next_entry() {
+        stats.instructions += 1;
+        let cycles = execute_entry(il1, dl1, below, timing, stats, below_pj, entry);
+        stats.cycles += cycles;
+
+        // Soft errors arrive at rate * bits per cycle.
+        if seu_active {
+            let expected = seu_rate * ule_bits as f64 * cycles as f64;
+            if seu_rng.gen::<f64>() < expected {
+                if seu_rng.gen::<bool>() {
+                    System::inject_random_seu(il1, seu_rng);
+                } else {
+                    System::inject_random_seu(dl1, seu_rng);
+                }
+            }
+        }
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunReport {
@@ -213,9 +255,10 @@ impl RunReport {
 pub struct System {
     il1: HybridCache,
     dl1: HybridCache,
-    /// The memory hierarchy beneath both L1s (an optional unified L2,
-    /// then main memory — or any custom [`MemoryLevel`] chain).
-    below: Box<dyn MemoryLevel>,
+    /// The memory hierarchy beneath both L1s: one of the two
+    /// monomorphized stock shapes picked by the builder, or a custom
+    /// boxed [`MemoryLevel`] chain.
+    below: Hierarchy,
     power: PowerModel,
     /// Soft-error injection: expected upsets per stored bit per cycle
     /// (0 disables). Real rates are ~1e-17/bit/s; experiments
@@ -365,9 +408,11 @@ impl SystemBuilder {
         let dl1 = HybridCache::try_new(config.dl1.clone(), Mode::Hp)?;
         let power = PowerModel::new(&config);
         let memory = MainMemory::new(self.memory);
-        let below: Box<dyn MemoryLevel> = match self.l2 {
-            Some(l2) => Box::new(L2Cache::new(l2, Box::new(memory))),
-            None => Box::new(memory),
+        // Select the concrete stock driver for the configured shape:
+        // the run loop monomorphizes over it.
+        let below = match self.l2 {
+            Some(l2) => Hierarchy::L2(L2Cache::new(l2, memory)),
+            None => Hierarchy::Memory(memory),
         };
         let (rate, seed) = self.seu.unwrap_or((0.0, DEFAULT_SEU_SEED));
         Ok(System {
@@ -507,15 +552,17 @@ impl System {
 
     /// The memory hierarchy beneath the L1s.
     pub fn below(&self) -> &dyn MemoryLevel {
-        self.below.as_ref()
+        self.below.as_dyn()
     }
 
     /// Replaces the memory hierarchy beneath the L1s with a custom
     /// [`MemoryLevel`] chain (a prefetcher, an ECC memory model, a
     /// NUMA stack, ...). The engine charges whatever composed
     /// latency/energy/EDC events the chain reports on each L1 miss.
+    /// Custom chains run through `dyn` dispatch (only the two stock
+    /// builder shapes are monomorphized).
     pub fn set_hierarchy(&mut self, below: Box<dyn MemoryLevel>) {
-        self.below = below;
+        self.below = Hierarchy::Custom(below);
     }
 
     /// The power model.
@@ -588,29 +635,54 @@ impl System {
         let mut below_pj = 0.0f64;
 
         let mut stats = RunStats::default();
-        while let Some(entry) = trace.next_entry() {
-            stats.instructions += 1;
-            let cycles = execute_entry(
-                &mut self.il1,
-                &mut self.dl1,
-                self.below.as_mut(),
-                timing,
-                &mut stats,
-                &mut below_pj,
-                entry,
-            );
-            stats.cycles += cycles;
-
-            // Soft errors arrive at rate * bits per cycle.
-            if seu_active {
-                let expected = self.seu_rate_per_bit_cycle * ule_bits as f64 * cycles as f64;
-                if self.seu_rng.gen::<f64>() < expected {
-                    if self.seu_rng.gen::<bool>() {
-                        Self::inject_random_seu(&mut self.il1, &mut self.seu_rng);
-                    } else {
-                        Self::inject_random_seu(&mut self.dl1, &mut self.seu_rng);
-                    }
-                }
+        {
+            // Dispatch on the chain shape once, outside the loop: the
+            // whole instruction loop monomorphizes per stock shape.
+            let rate = self.seu_rate_per_bit_cycle;
+            let System {
+                il1,
+                dl1,
+                below,
+                seu_rng,
+                ..
+            } = self;
+            match below {
+                Hierarchy::Memory(m) => run_loop(
+                    &mut trace,
+                    il1,
+                    dl1,
+                    m,
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
+                Hierarchy::L2(l2) => run_loop(
+                    &mut trace,
+                    il1,
+                    dl1,
+                    l2,
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
+                Hierarchy::Custom(b) => run_loop(
+                    &mut trace,
+                    il1,
+                    dl1,
+                    b.as_mut(),
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
             }
         }
 

@@ -80,8 +80,11 @@ pub struct AccessOutcome {
 ///
 /// Implementations: [`HybridCache`] (the bit-accurate L1),
 /// [`L2Cache`], and the terminal [`MainMemory`]. Custom levels
-/// (prefetchers, scratchpads, NUMA models, ...) plug in the same way —
-/// the engine only ever sees this trait.
+/// (prefetchers, scratchpads, NUMA models, ...) plug in the same way.
+/// The engine drives the two stock chain shapes ([`L1OverMemory`] and
+/// [`L1OverL2`]) through monomorphized code with static dispatch, and
+/// falls back to `dyn MemoryLevel` only for custom chains installed
+/// via [`System::set_hierarchy`](crate::engine::System::set_hierarchy).
 pub trait MemoryLevel: fmt::Debug {
     /// Performs one access, descending the chain on a miss.
     fn access(&mut self, req: AccessRequest) -> AccessOutcome;
@@ -102,6 +105,27 @@ pub trait MemoryLevel: fmt::Debug {
     /// Counters of this level and every level below it, top first,
     /// keyed by a stable level name (`"l1"`, `"l2"`, `"memory"`).
     fn chain_stats(&self) -> Vec<(&'static str, CacheStats)>;
+}
+
+/// Boxed levels (concrete or `dyn`) are levels themselves, so generic
+/// code can drive a custom `dyn` chain and a monomorphized stock chain
+/// through the same bound.
+impl<M: MemoryLevel + ?Sized> MemoryLevel for Box<M> {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.as_mut().access(req)
+    }
+
+    fn flush(&mut self) {
+        self.as_mut().flush();
+    }
+
+    fn reset_stats(&mut self) {
+        self.as_mut().reset_stats();
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        self.as_ref().chain_stats()
+    }
 }
 
 impl MemoryLevel for HybridCache {
@@ -205,24 +229,29 @@ struct L2Line {
 /// allocate on miss; dirty victims are written back through a buffer,
 /// so the writeback is charged to the next level's counters and
 /// energy but not to the demand access's latency.
+///
+/// The level below is a type parameter so stock chains monomorphize
+/// (`L2Cache<MainMemory>` — the [`L1OverL2`] shape — descends with
+/// static calls); the default `Box<dyn MemoryLevel>` keeps custom
+/// chains and the historical constructor signature working unchanged.
 #[derive(Debug)]
-pub struct L2Cache {
+pub struct L2Cache<N: MemoryLevel = Box<dyn MemoryLevel>> {
     config: L2Config,
     /// `sets x ways` line metadata.
     lines: Vec<Vec<L2Line>>,
     lru_clock: u64,
     stats: CacheStats,
-    next: Box<dyn MemoryLevel>,
+    next: N,
 }
 
-impl L2Cache {
+impl<N: MemoryLevel> L2Cache<N> {
     /// Builds an empty L2 on top of `next`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
     /// [`L2Config::validate`]).
-    pub fn new(config: L2Config, next: Box<dyn MemoryLevel>) -> Self {
+    pub fn new(config: L2Config, next: N) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid L2 config: {e}");
         }
@@ -257,7 +286,7 @@ impl L2Cache {
     }
 }
 
-impl MemoryLevel for L2Cache {
+impl<N: MemoryLevel> MemoryLevel for L2Cache<N> {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
         let (set, tag) = self.index(req.addr);
         self.lru_clock += 1;
@@ -354,6 +383,86 @@ impl MemoryLevel for L2Cache {
         let mut chain = vec![("l2", self.stats)];
         chain.extend(self.next.chain_stats());
         chain
+    }
+}
+
+/// The stock flat chain: the L1s miss straight into [`MainMemory`].
+///
+/// One of the two concrete driver shapes
+/// [`SystemBuilder::build`](crate::engine::SystemBuilder::build)
+/// selects; the engine's run loop monomorphizes over it, so every
+/// miss descends with static calls (no `dyn` dispatch on the hot
+/// path).
+pub type L1OverMemory = MainMemory;
+
+/// The stock two-level chain: the L1s miss into a unified
+/// [`L2Cache`] backed directly by [`MainMemory`].
+///
+/// The other concrete driver shape selected by
+/// [`SystemBuilder::build`](crate::engine::SystemBuilder::build);
+/// fully monomorphized, so an L1 miss walks L2 tags and falls through
+/// to memory with static calls.
+pub type L1OverL2 = L2Cache<MainMemory>;
+
+/// The memory hierarchy below the L1s, as the engine stores it: one
+/// of the two monomorphized stock shapes, or a custom boxed chain.
+///
+/// [`SystemBuilder::build`](crate::engine::SystemBuilder::build)
+/// always selects a stock variant;
+/// [`System::set_hierarchy`](crate::engine::System::set_hierarchy)
+/// installs [`Hierarchy::Custom`]. The engine matches on the variant
+/// **once per run**, outside the instruction loop, so the loop body is
+/// compiled separately for each shape and custom chains pay the
+/// virtual call they always did.
+#[derive(Debug)]
+pub enum Hierarchy {
+    /// The flat stock shape ([`L1OverMemory`]).
+    Memory(L1OverMemory),
+    /// The two-level stock shape ([`L1OverL2`]).
+    L2(L1OverL2),
+    /// A user-supplied chain, driven through `dyn MemoryLevel`.
+    Custom(Box<dyn MemoryLevel>),
+}
+
+impl Hierarchy {
+    /// The chain as a trait object (for inspection; the run loop uses
+    /// the matched concrete variants instead).
+    pub fn as_dyn(&self) -> &dyn MemoryLevel {
+        match self {
+            Hierarchy::Memory(m) => m,
+            Hierarchy::L2(l2) => l2,
+            Hierarchy::Custom(b) => b.as_ref(),
+        }
+    }
+}
+
+impl MemoryLevel for Hierarchy {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        match self {
+            Hierarchy::Memory(m) => m.access(req),
+            Hierarchy::L2(l2) => l2.access(req),
+            Hierarchy::Custom(b) => b.access(req),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            Hierarchy::Memory(m) => MemoryLevel::flush(m),
+            Hierarchy::L2(l2) => MemoryLevel::flush(l2),
+            Hierarchy::Custom(b) => b.flush(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            Hierarchy::Memory(m) => MemoryLevel::reset_stats(m),
+            Hierarchy::L2(l2) => MemoryLevel::reset_stats(l2),
+            Hierarchy::Custom(b) => b.reset_stats(),
+        }
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        self.as_dyn().chain_stats()
     }
 }
 

@@ -62,7 +62,9 @@ pub mod stats;
 pub use cache::HybridCache;
 pub use config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig, WaySpec};
 pub use engine::{RunReport, System, SystemBuilder};
-pub use hierarchy::{AccessRequest, HitDepth, L2Cache, MainMemory, MemoryLevel};
+pub use hierarchy::{
+    AccessRequest, Hierarchy, HitDepth, L1OverL2, L1OverMemory, L2Cache, MainMemory, MemoryLevel,
+};
 pub use multicore::{MultiCoreReport, MultiCoreSystem};
 pub use power::EnergyBreakdown;
 pub use stats::{CacheStats, RunStats};

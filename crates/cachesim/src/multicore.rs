@@ -60,7 +60,7 @@
 use crate::cache::HybridCache;
 use crate::config::Mode;
 use crate::engine::{execute_entry, CoreTiming, RunReport, System};
-use crate::hierarchy::MemoryLevel;
+use crate::hierarchy::{Hierarchy, MemoryLevel};
 use crate::power::PowerModel;
 use crate::stats::{CacheStats, RunStats};
 use hyvec_cachemodel::OperatingPoint;
@@ -142,8 +142,9 @@ impl MultiCoreReport {
 pub struct MultiCoreSystem {
     /// Per-core `(il1, dl1)` pairs.
     fronts: Vec<(HybridCache, HybridCache)>,
-    /// The hierarchy shared by every core.
-    below: Box<dyn MemoryLevel>,
+    /// The hierarchy shared by every core (monomorphized stock shape
+    /// or custom boxed chain, as in [`System`]).
+    below: Hierarchy,
     /// One power model (all cores share a configuration).
     power: PowerModel,
     /// Soft-error injection, as in [`System`]; an upset lands in the
@@ -157,7 +158,7 @@ impl MultiCoreSystem {
     /// Assembles the machine from parts the builder validated.
     pub(crate) fn from_parts(
         fronts: Vec<(HybridCache, HybridCache)>,
-        below: Box<dyn MemoryLevel>,
+        below: Hierarchy,
         power: PowerModel,
         seu_rate_per_bit_cycle: f64,
         seu_rng: SmallRng,
@@ -178,7 +179,7 @@ impl MultiCoreSystem {
 
     /// The shared hierarchy beneath the L1s.
     pub fn below(&self) -> &dyn MemoryLevel {
-        self.below.as_ref()
+        self.below.as_dyn()
     }
 
     /// One core's caches, for fault injection (`core` panics when out
@@ -283,32 +284,51 @@ impl MultiCoreSystem {
         let n = self.fronts.len();
         let mut stats = vec![RunStats::default(); n];
         let mut below_pj = vec![0.0f64; n];
-        for (core, entry) in entries {
-            assert!(core < n, "entry for core {core} on a {n}-core system");
-            let (il1, dl1) = &mut self.fronts[core];
-            stats[core].instructions += 1;
-            let cycles = execute_entry(
-                il1,
-                dl1,
-                self.below.as_mut(),
-                timing,
-                &mut stats[core],
-                &mut below_pj[core],
-                entry,
-            );
-            stats[core].cycles += cycles;
-
-            if seu_active {
-                use rand::Rng;
-                let expected = self.seu_rate_per_bit_cycle * ule_bits as f64 * cycles as f64;
-                if self.seu_rng.gen::<f64>() < expected {
-                    let (il1, dl1) = &mut self.fronts[core];
-                    if self.seu_rng.gen::<bool>() {
-                        System::inject_random_seu(il1, &mut self.seu_rng);
-                    } else {
-                        System::inject_random_seu(dl1, &mut self.seu_rng);
-                    }
-                }
+        {
+            // As in the single-core engine: dispatch on the shared
+            // chain's shape once, so the whole interleaved loop runs
+            // monomorphized for the stock shapes.
+            let rate = self.seu_rate_per_bit_cycle;
+            let MultiCoreSystem {
+                fronts,
+                below,
+                seu_rng,
+                ..
+            } = self;
+            match below {
+                Hierarchy::Memory(m) => run_entries(
+                    entries,
+                    fronts,
+                    m,
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
+                Hierarchy::L2(l2) => run_entries(
+                    entries,
+                    fronts,
+                    l2,
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
+                Hierarchy::Custom(b) => run_entries(
+                    entries,
+                    fronts,
+                    b.as_mut(),
+                    timing,
+                    rate,
+                    ule_bits,
+                    seu_rng,
+                    &mut stats,
+                    &mut below_pj,
+                ),
             }
         }
 
@@ -350,6 +370,56 @@ impl MultiCoreSystem {
             l2,
             memory,
             mode,
+        }
+    }
+}
+
+/// The interleaved multi-core loop, generic over the shared chain so
+/// each stock [`Hierarchy`] shape compiles its own copy with static
+/// dispatch (custom chains instantiate it with `dyn MemoryLevel`).
+#[allow(clippy::too_many_arguments)]
+fn run_entries<I, B>(
+    entries: I,
+    fronts: &mut [(HybridCache, HybridCache)],
+    below: &mut B,
+    timing: CoreTiming,
+    seu_rate: f64,
+    ule_bits: u64,
+    seu_rng: &mut SmallRng,
+    stats: &mut [RunStats],
+    below_pj: &mut [f64],
+) where
+    I: IntoIterator<Item = (usize, TraceEntry)>,
+    B: MemoryLevel + ?Sized,
+{
+    let n = fronts.len();
+    let seu_active = seu_rate > 0.0;
+    for (core, entry) in entries {
+        assert!(core < n, "entry for core {core} on a {n}-core system");
+        let (il1, dl1) = &mut fronts[core];
+        stats[core].instructions += 1;
+        let cycles = execute_entry(
+            il1,
+            dl1,
+            below,
+            timing,
+            &mut stats[core],
+            &mut below_pj[core],
+            entry,
+        );
+        stats[core].cycles += cycles;
+
+        if seu_active {
+            use rand::Rng;
+            let expected = seu_rate * ule_bits as f64 * cycles as f64;
+            if seu_rng.gen::<f64>() < expected {
+                let (il1, dl1) = &mut fronts[core];
+                if seu_rng.gen::<bool>() {
+                    System::inject_random_seu(il1, seu_rng);
+                } else {
+                    System::inject_random_seu(dl1, seu_rng);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,138 @@
+//! Fast-path equivalence properties: any trace replayed through an
+//! engine whose L1s are armed onto the slow path (the full EDC
+//! decode/verify machinery, with no faults actually present) must
+//! produce results bit-identical to the fault-free fast path — same
+//! `RunStats`, same energy totals, same derived report figures.
+//!
+//! This is the contract that makes the tiered dispatch a pure
+//! optimization: `hyvec run-all` output stays byte-identical because
+//! every fault-free experiment silently moved to the fast path.
+
+use hyvec_cachesim::config::{L2Config, MemoryConfig, Mode, SystemConfig};
+use hyvec_cachesim::engine::System;
+use hyvec_cachesim::MultiCoreSystem;
+use hyvec_mediabench::{Benchmark, DataAccess, TraceEntry};
+use proptest::prelude::*;
+
+fn build(with_l2: bool, seu: bool) -> System {
+    let l1s = SystemConfig::uniform_6t();
+    let mut builder = System::builder()
+        .il1(l1s.il1)
+        .dl1(l1s.dl1)
+        .memory(MemoryConfig::with_latency(40));
+    if with_l2 {
+        builder = builder.l2(L2Config::unified(16));
+    }
+    if seu {
+        builder = builder.seu(2e-8, 11);
+    }
+    builder.build().expect("valid configuration")
+}
+
+fn force_slow(sys: &mut System) {
+    sys.il1_mut().set_force_slow_path(true);
+    sys.dl1_mut().set_force_slow_path(true);
+}
+
+fn multi(with_l2: bool, cores: usize) -> MultiCoreSystem {
+    let l1s = SystemConfig::uniform_6t();
+    let mut builder = System::builder()
+        .il1(l1s.il1)
+        .dl1(l1s.dl1)
+        .memory(MemoryConfig::with_latency(40));
+    if with_l2 {
+        builder = builder.l2(L2Config::unified(16));
+    }
+    builder.build_multi(cores).expect("valid configuration")
+}
+
+proptest! {
+    /// Arbitrary synthetic traces — including line-crossing and
+    /// sub-word accesses — replay identically on both tiers, with and
+    /// without an L2 in the chain.
+    #[test]
+    fn forced_slow_replay_matches_fast_path(
+        ops in prop::collection::vec(
+            (0u64..0x20000, 1u8..=8, any::<bool>(), any::<bool>()),
+            1..400,
+        ),
+        mode_sel: bool,
+        with_l2: bool,
+    ) {
+        let mode = if mode_sel { Mode::Hp } else { Mode::Ule };
+        let trace = || {
+            ops.clone().into_iter().map(|(a, size, is_write, has_data)| TraceEntry {
+                pc: 0x40_0000 + (a & !3),
+                access: has_data.then_some(DataAccess {
+                    addr: 0x80_0000 + a,
+                    size,
+                    is_write,
+                }),
+            })
+        };
+        let mut fast = build(with_l2, false);
+        let mut slow = build(with_l2, false);
+        force_slow(&mut slow);
+        let rf = fast.run(trace(), mode);
+        let rs = slow.run(trace(), mode);
+        prop_assert_eq!(rf, rs, "fast and armed-slow runs diverged");
+    }
+
+    /// The generated MediaBench-style traces agree too, across
+    /// benchmarks and seeds (energy totals included).
+    #[test]
+    fn benchmark_replay_matches_fast_path(
+        bench_idx in 0usize..Benchmark::BIG.len(),
+        seed in 0u64..1000,
+        with_l2: bool,
+    ) {
+        let b = Benchmark::BIG[bench_idx];
+        let mut fast = build(with_l2, false);
+        let mut slow = build(with_l2, false);
+        force_slow(&mut slow);
+        let rf = fast.run(b.trace(8_000, seed), Mode::Hp);
+        let rs = slow.run(b.trace(8_000, seed), Mode::Hp);
+        prop_assert_eq!(rf.stats, rs.stats);
+        prop_assert_eq!(rf.energy, rs.energy);
+        prop_assert_eq!(rf.seconds, rs.seconds);
+        prop_assert_eq!(rf.epi_pj(), rs.epi_pj());
+    }
+}
+
+#[test]
+fn multicore_forced_slow_matches_fast_path() {
+    let sources = || {
+        vec![
+            Benchmark::GsmC.trace(6_000, 1),
+            Benchmark::Mpeg2C.trace(6_000, 2),
+        ]
+    };
+    let mut fast = multi(true, 2);
+    let mut slow = multi(true, 2);
+    for core in 0..2 {
+        let (il1, dl1) = slow.core_mut(core);
+        il1.set_force_slow_path(true);
+        dl1.set_force_slow_path(true);
+    }
+    let rf = fast.run(sources(), Mode::Hp);
+    let rs = slow.run(sources(), Mode::Hp);
+    assert_eq!(rf, rs, "multi-core fast and armed-slow runs diverged");
+}
+
+#[test]
+fn seu_runs_disengage_the_fast_path_by_themselves() {
+    // With an accelerated soft-error rate the caches stop being
+    // fault-free mid-run; forcing the slow path must then change
+    // nothing at all (the injected upsets land identically because
+    // the RNG stream only advances per retired instruction).
+    let mut fast = build(false, true);
+    let mut slow = build(false, true);
+    force_slow(&mut slow);
+    let rf = fast.run(Benchmark::AdpcmC.trace(30_000, 7), Mode::Ule);
+    let rs = slow.run(Benchmark::AdpcmC.trace(30_000, 7), Mode::Ule);
+    assert_eq!(rf, rs);
+    assert!(
+        rf.stats.silent_corruptions() > 0,
+        "accelerated SEUs on the unprotected 6T way must corrupt"
+    );
+}

@@ -21,7 +21,13 @@
 //! enforced by the workspace's `tests/determinism.rs`. Wall-clock
 //! timings are deliberately kept *outside* the report (in
 //! [`SweepOutcome::timings`]) so they can feed perf artifacts without
-//! breaking that contract.
+//! breaking that contract. The same contract is what lets the
+//! simulator's fault-free fast path (see
+//! `hyvec_cachesim::cache::HybridCache`) speed these jobs up without
+//! changing a byte of their sections: `BENCH_sweep.json` tracks the
+//! job wall times, and the companion `BENCH_hotpath.json` artifact
+//! (written by `hyvec run-all` from `hyvec_bench::hotpath`) tracks
+//! the fast-vs-slow dispatch-tier throughput directly.
 //!
 //! # Example
 //!

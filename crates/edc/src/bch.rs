@@ -193,6 +193,7 @@ impl EdcCode for DectedCode {
         CHECK_BITS
     }
 
+    #[inline]
     fn encode(&self, data: u64) -> u64 {
         let data = mask_low(data, self.data_bits);
         let bch = (data << BCH_PARITY_BITS) | u64::from(self.bch_parity(data));
@@ -200,6 +201,7 @@ impl EdcCode for DectedCode {
         bch | (u64::from(parity64(bch)) << self.bch_bits())
     }
 
+    #[inline]
     fn decode(&self, word: u64) -> Decoded {
         let bch_len = self.bch_bits();
         let bch_rx = mask_low(word, bch_len);

@@ -142,11 +142,13 @@ impl EdcCode for HsiaoCode {
         CHECK_BITS
     }
 
+    #[inline]
     fn encode(&self, data: u64) -> u64 {
         let data = mask_low(data, self.data_bits);
         data | (u64::from(self.checks(data)) << self.data_bits)
     }
 
+    #[inline]
     fn decode(&self, word: u64) -> Decoded {
         let syndrome = self.syndrome(word);
         let data = mask_low(word, self.data_bits);

@@ -173,10 +173,12 @@ impl EdcCode for NoCode {
         0
     }
 
+    #[inline]
     fn encode(&self, data: u64) -> u64 {
         mask_low(data, self.data_bits)
     }
 
+    #[inline]
     fn decode(&self, word: u64) -> Decoded {
         Decoded::Clean {
             data: mask_low(word, self.data_bits),
@@ -262,6 +264,7 @@ impl fmt::Display for Protection {
     }
 }
 
+#[inline]
 pub(crate) fn mask_low(value: u64, bits: usize) -> u64 {
     if bits >= 64 {
         value
