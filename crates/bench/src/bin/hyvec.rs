@@ -3,6 +3,7 @@
 //! ```text
 //! hyvec <command> [--instructions N] [--seed S] [--jobs J]
 //!                 [--format text|json|csv] [--filter GLOB] [--bench-out PATH]
+//!                 [--force-slow-path]
 //!
 //! commands:
 //!   run-all       the full evaluation matrix, fanned across cores
@@ -27,6 +28,9 @@
 //! single-artifact command, by `run-all`, serially or in parallel.
 //! `--filter` narrows any command by glob over experiment ids
 //! (e.g. `--filter 'fig*/A'`); `--format` selects the render backend.
+//! `--force-slow-path` routes every simulated access through the full
+//! EDC decode path even while fault-free — a diagnostic knob; the
+//! rendered report is byte-identical with or without it.
 
 use std::process::ExitCode;
 

@@ -30,6 +30,10 @@ pub struct CliOptions {
     /// Honored by every entry point; `hyvec run-all` additionally
     /// defaults it to `BENCH_sweep.json`.
     pub bench_out: Option<String>,
+    /// Route every access through the full EDC slow path
+    /// (`--force-slow-path`). Purely diagnostic: the report is
+    /// byte-identical with or without it.
+    pub force_slow_path: bool,
 }
 
 impl Default for CliOptions {
@@ -40,13 +44,13 @@ impl Default for CliOptions {
             format: Format::Text,
             globs: Vec::new(),
             bench_out: None,
+            force_slow_path: false,
         }
     }
 }
 
 /// The flag summary shared by every usage string.
-pub const FLAGS_USAGE: &str =
-    "[--instructions N] [--seed S] [--jobs J] [--format text|json|csv] [--filter GLOB]";
+pub const FLAGS_USAGE: &str = "[--instructions N] [--seed S] [--jobs J] [--format text|json|csv] [--filter GLOB] [--force-slow-path]";
 
 /// Parses the common flags from an argument iterator (after any
 /// subcommand has been consumed).
@@ -54,6 +58,11 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> Result<CliOptions, Str
     let mut args = args.peekable();
     let mut options = CliOptions::default();
     while let Some(flag) = args.next() {
+        // Boolean flags take no value.
+        if flag == "--force-slow-path" {
+            options.force_slow_path = true;
+            continue;
+        }
         let value = args
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -92,7 +101,8 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> Result<CliOptions, Str
 pub fn sweep_for(options: &CliOptions, artifacts: &[&str]) -> SweepBuilder {
     let mut builder = SweepBuilder::new()
         .params(options.params)
-        .jobs(options.jobs);
+        .jobs(options.jobs)
+        .force_slow_path(options.force_slow_path);
     if !artifacts.is_empty() {
         builder = builder.artifacts(artifacts.iter().copied());
     }
@@ -162,6 +172,17 @@ mod tests {
         assert_eq!(o.jobs, 2);
         assert_eq!(o.format, Format::Json);
         assert_eq!(o.globs, vec!["fig3/*", "area/*"]);
+    }
+
+    #[test]
+    fn force_slow_path_is_a_bare_flag() {
+        assert!(!parse(&[]).unwrap().force_slow_path);
+        // Takes no value, anywhere in the argument list.
+        let o = parse(&["--force-slow-path", "--jobs", "2"]).unwrap();
+        assert!(o.force_slow_path);
+        assert_eq!(o.jobs, 2);
+        let o = parse(&["--jobs", "2", "--force-slow-path"]).unwrap();
+        assert!(o.force_slow_path);
     }
 
     #[test]

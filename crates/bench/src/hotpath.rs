@@ -22,11 +22,14 @@
 //! armed fault map disables the fast path on its own.
 //!
 //! The result serializes as the `BENCH_hotpath.json` artifact
-//! (schema `hyvec-bench-hotpath/v1`), written by `hyvec run-all`
+//! (schema `hyvec-bench-hotpath/v2`), written by `hyvec run-all`
 //! alongside `BENCH_sweep.json` and by the `benches/hotpath.rs`
-//! harness. Counters are asserted identical between the two paths on
-//! every measurement run, so the artifact doubles as an equivalence
-//! smoke check.
+//! harness. v2 adds a per-workload `elapsed_wall_ms` field — the
+//! total wall time the workload's measurement took (equivalence gate
+//! plus every timed sample on both tiers), so artifact trajectories
+//! expose measurement cost alongside throughput. Counters are
+//! asserted identical between the two paths on every measurement run,
+//! so the artifact doubles as an equivalence smoke check.
 
 use std::time::Instant;
 
@@ -54,6 +57,10 @@ pub struct WorkloadResult {
     /// Accesses per second with every access forced down the slow
     /// path.
     pub slow_accesses_per_sec: f64,
+    /// Total wall time this workload's measurement took, in
+    /// milliseconds: the equivalence gate plus every timed sample on
+    /// both tiers.
+    pub elapsed_wall_ms: f64,
 }
 
 impl WorkloadResult {
@@ -91,7 +98,7 @@ impl HotpathReport {
     pub fn json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"hyvec-bench-hotpath/v1\",\n");
+        out.push_str("  \"schema\": \"hyvec-bench-hotpath/v2\",\n");
         out.push_str(&format!("  \"instructions\": {},\n", self.instructions));
         out.push_str("  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
@@ -100,12 +107,14 @@ impl HotpathReport {
                 "    {{\"id\": \"{}\", \"accesses\": {}, \
                  \"fast_accesses_per_sec\": {:.1}, \
                  \"slow_accesses_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}}}",
+                 \"speedup\": {:.3}, \
+                 \"elapsed_wall_ms\": {:.3}}}",
                 w.id,
                 w.accesses,
                 w.fast_accesses_per_sec,
                 w.slow_accesses_per_sec,
-                w.speedup()
+                w.speedup(),
+                w.elapsed_wall_ms
             ));
         }
         if self.workloads.is_empty() {
@@ -120,16 +129,17 @@ impl HotpathReport {
     /// A human-readable table of the same figures.
     pub fn text(&self) -> String {
         let mut out = format!(
-            "hot-path throughput ({} instructions/run)\n{:<14} {:>16} {:>16} {:>9}\n",
-            self.instructions, "workload", "fast acc/s", "slow acc/s", "speedup"
+            "hot-path throughput ({} instructions/run)\n{:<14} {:>16} {:>16} {:>9} {:>10}\n",
+            self.instructions, "workload", "fast acc/s", "slow acc/s", "speedup", "wall ms"
         );
         for w in &self.workloads {
             out.push_str(&format!(
-                "{:<14} {:>16.0} {:>16.0} {:>8.2}x\n",
+                "{:<14} {:>16.0} {:>16.0} {:>8.2}x {:>10.1}\n",
                 w.id,
                 w.fast_accesses_per_sec,
                 w.slow_accesses_per_sec,
-                w.speedup()
+                w.speedup(),
+                w.elapsed_wall_ms
             ));
         }
         out
@@ -278,6 +288,7 @@ pub fn measure(instructions: u64) -> HotpathReport {
     let workloads = WORKLOADS
         .iter()
         .map(|w| {
+            let workload_start = Instant::now();
             // Equivalence gate: one run per tier, counters compared.
             let (_, _, fast_stats) = run_once(w, instructions.min(20_000), false);
             let (_, _, slow_stats) = run_once(w, instructions.min(20_000), true);
@@ -293,6 +304,7 @@ pub fn measure(instructions: u64) -> HotpathReport {
                 accesses,
                 fast_accesses_per_sec: fast,
                 slow_accesses_per_sec: slow,
+                elapsed_wall_ms: workload_start.elapsed().as_secs_f64() * 1e3,
             }
         })
         .collect();
@@ -322,12 +334,21 @@ mod tests {
         let report = measure(2_000);
         assert_eq!(report.workloads.len(), 4);
         let json = report.json();
-        assert!(json.contains("\"schema\": \"hyvec-bench-hotpath/v1\""));
+        assert!(json.contains("\"schema\": \"hyvec-bench-hotpath/v2\""));
         for id in ["l1_hit", "l2_hit", "memory_miss", "faulty_line"] {
             assert!(json.contains(id), "missing workload {id}");
         }
+        assert!(json.contains("\"elapsed_wall_ms\""));
+        for w in &report.workloads {
+            assert!(
+                w.elapsed_wall_ms > 0.0,
+                "{}: measurement must take nonzero wall time",
+                w.id
+            );
+        }
         assert!(report.l1_hit_speedup().is_some());
         assert!(report.text().contains("l1_hit"));
+        assert!(report.text().contains("wall ms"));
     }
 
     #[test]

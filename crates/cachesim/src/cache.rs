@@ -11,8 +11,8 @@
 
 use crate::config::{CacheConfig, Mode, WaySpec};
 use crate::stats::CacheStats;
-use hyvec_edc::{Decoded, EdcCode};
-use std::collections::HashMap;
+use hyvec_edc::{Decoded, DectedCode, EdcCode, HsiaoCode, NoCode, Protection};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Stuck-at fault pattern for one stored word: where `mask` is set,
 /// the cell always reads `value` regardless of what was written.
@@ -49,43 +49,73 @@ pub struct WordSlot {
     pub slot: u64,
 }
 
+/// Monomorphized codec dispatch: one `match` instead of a virtual
+/// call per decode. The three arms cover every [`Protection`] level,
+/// so the per-access hot loop never goes through a vtable.
 #[derive(Debug, Clone)]
-struct Line {
-    valid: bool,
-    dirty: bool,
-    /// The plain (unencoded) tag this line was filled with. The fast
-    /// path compares against this directly; in a fault-free cache the
-    /// stored codeword decodes back to exactly this value.
-    tag: u64,
-    /// Stored tag codeword (as written, before faults).
-    tag_word: u64,
-    /// Stored data codewords.
-    words: Vec<u64>,
-    lru: u64,
+enum Codec {
+    None(NoCode),
+    Secded(HsiaoCode),
+    Dected(DectedCode),
 }
 
-#[derive(Debug)]
-struct WayState {
-    spec: WaySpec,
-    data_code_hp: Box<dyn EdcCode>,
-    data_code_ule: Box<dyn EdcCode>,
-    tag_code_hp: Box<dyn EdcCode>,
-    tag_code_ule: Box<dyn EdcCode>,
-    lines: Vec<Line>,
-}
-
-impl WayState {
-    fn data_code(&self, mode: Mode) -> &dyn EdcCode {
-        match mode {
-            Mode::Hp => self.data_code_hp.as_ref(),
-            Mode::Ule => self.data_code_ule.as_ref(),
+impl Codec {
+    fn build(protection: Protection, data_bits: usize) -> Self {
+        match protection {
+            Protection::None => Codec::None(NoCode::new(data_bits)),
+            Protection::Secded => {
+                Codec::Secded(HsiaoCode::new(data_bits).expect("width supported"))
+            }
+            Protection::Dected => {
+                Codec::Dected(DectedCode::new(data_bits).expect("width supported"))
+            }
         }
     }
 
-    fn tag_code(&self, mode: Mode) -> &dyn EdcCode {
+    #[inline]
+    fn encode(&self, data: u64) -> u64 {
+        match self {
+            Codec::None(c) => c.encode(data),
+            Codec::Secded(c) => c.encode(data),
+            Codec::Dected(c) => c.encode(data),
+        }
+    }
+
+    #[inline]
+    fn decode(&self, word: u64) -> Decoded {
+        match self {
+            Codec::None(c) => c.decode(word),
+            Codec::Secded(c) => c.decode(word),
+            Codec::Dected(c) => c.decode(word),
+        }
+    }
+}
+
+/// Per-way configuration and codecs. Line state lives in the flat
+/// struct-of-arrays vectors on [`HybridCache`] itself.
+#[derive(Debug)]
+struct WayCodecs {
+    spec: WaySpec,
+    data_code_hp: Codec,
+    data_code_ule: Codec,
+    tag_code_hp: Codec,
+    tag_code_ule: Codec,
+}
+
+impl WayCodecs {
+    #[inline]
+    fn data_code(&self, mode: Mode) -> &Codec {
         match mode {
-            Mode::Hp => self.tag_code_hp.as_ref(),
-            Mode::Ule => self.tag_code_ule.as_ref(),
+            Mode::Hp => &self.data_code_hp,
+            Mode::Ule => &self.data_code_ule,
+        }
+    }
+
+    #[inline]
+    fn tag_code(&self, mode: Mode) -> &Codec {
+        match mode {
+            Mode::Hp => &self.tag_code_hp,
+            Mode::Ule => &self.tag_code_ule,
         }
     }
 }
@@ -133,11 +163,75 @@ pub struct AccessOutcome {
 /// cache can drop from fast to slow at any time — e.g. when
 /// [`HybridCache::set_stuck_bits`] arms a fault mid-run — without any
 /// re-encoding step.
+///
+/// # Storage layout
+///
+/// Line state is struct-of-arrays: `valid`/`dirty`/`tags`/
+/// `tag_words`/`lru_stamps` are flat vectors indexed by `(way, set)`
+/// through the private `line_index` helper (set-major, so the ways of
+/// one set are contiguous and a lookup or victim scan walks a
+/// cache-friendly slice), and all data codewords live in one flat
+/// `words` arena at `line_index * words_per_line + slot`. There is no
+/// per-line heap allocation. A per-line `fault_masks` bitmask (bit
+/// `s` = word slot `s` has a stuck-at entry, saturating at bit 63)
+/// lets the read path skip the fault probe for the common pristine
+/// word; the faults themselves live in short per-line `(slot, bits)`
+/// lists rather than a hash map, so even a faulty word costs a
+/// one-or-two entry linear scan instead of a hash.
 #[derive(Debug)]
 pub struct HybridCache {
     config: CacheConfig,
-    ways: Vec<WayState>,
-    faults: HashMap<WordSlot, StuckBits>,
+    /// Per-way specs and codecs, in way order.
+    ways: Vec<WayCodecs>,
+    num_ways: usize,
+    words_per_line: usize,
+    /// `log2(line_bytes)` — the geometry is validated power-of-two,
+    /// so indexing is shifts and masks, never division.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
+    /// `sets - 1`.
+    set_mask: u64,
+    /// `(1 << tag_bits) - 1`.
+    tag_mask: u64,
+    /// `log2(word_bytes)` when the word size is a power of two (the
+    /// common case); `None` falls back to division.
+    word_shift: Option<u32>,
+    /// SoA line state; see the type docs for the layout.
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    /// Plain (unencoded) tags, compared directly by the fast path; in
+    /// a fault-free cache the stored codeword decodes back to exactly
+    /// this value.
+    tags: Vec<u64>,
+    /// Stored tag codewords (as written, before faults).
+    tag_words: Vec<u64>,
+    lru_stamps: Vec<u64>,
+    /// Flat data-codeword arena.
+    words: Vec<u64>,
+    /// Per-line bitmask of word slots with stuck-at entries.
+    fault_masks: Vec<u64>,
+    /// Which ways participate in the current mode (recomputed on mode
+    /// switches, so the hot loop is one slice load per way).
+    enabled_now: Vec<bool>,
+    /// Per-way: the active tag codec is [`Protection::None`]
+    /// (recomputed on mode switches). A plain way's tag decode is a
+    /// mask-and-compare, so the slow path never touches the (large)
+    /// codec structs for it.
+    tag_plain_now: Vec<bool>,
+    /// Per-way: the active data codec is [`Protection::None`].
+    data_plain_now: Vec<bool>,
+    /// `mask_low(_, word_bits)` as a mask — the identity an
+    /// unprotected data codec applies on encode and decode.
+    word_mask: u64,
+    /// Stuck-at faults per line, each a short list sorted by slot.
+    /// Lines are overwhelmingly fault-free (gated by `fault_masks`),
+    /// and a faulty line rarely carries more than a couple of entries,
+    /// so a linear probe beats a hash map on the slow path.
+    faults: Vec<Vec<(u64, StuckBits)>>,
+    /// Total installed fault entries across all lines (the
+    /// `is_fault_free` gate, without walking `faults`).
+    fault_entries: usize,
     mode: Mode,
     lru_clock: u64,
     stats: CacheStats,
@@ -148,6 +242,26 @@ pub struct HybridCache {
     /// Diagnostic override: route every access through the slow path
     /// even when fault-free.
     force_slow: bool,
+}
+
+/// Process-global default for [`HybridCache::set_force_slow_path`],
+/// applied to every cache built afterwards. This is how
+/// `hyvec run-all --force-slow-path` reaches the caches that
+/// experiments construct internally.
+static FORCE_SLOW_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-global slow-path pin: caches constructed while it
+/// is `true` start with the slow path forced, exactly as if
+/// [`HybridCache::set_force_slow_path`] had been called on each.
+/// Counters are bit-identical either way, so flipping this mid-run
+/// only ever changes timing, never results.
+pub fn set_global_force_slow_path(force: bool) {
+    FORCE_SLOW_DEFAULT.store(force, Ordering::SeqCst);
+}
+
+/// Reads the process-global slow-path pin.
+pub fn global_force_slow_path() -> bool {
+    FORCE_SLOW_DEFAULT.load(Ordering::SeqCst)
 }
 
 /// The deterministic payload written for a given word address; reads
@@ -184,50 +298,73 @@ impl HybridCache {
     /// Returns the first violated [`CacheConfig`] invariant.
     pub fn try_new(config: CacheConfig, mode: Mode) -> Result<Self, crate::config::ConfigError> {
         config.validate()?;
-        let sets = config.sets();
-        let words = config.words_per_line();
-        let ways = config
+        let sets = config.sets() as usize;
+        let words_per_line = config.words_per_line() as usize;
+        let ways: Vec<WayCodecs> = config
             .ways
             .iter()
-            .map(|spec| WayState {
+            .map(|spec| WayCodecs {
                 spec: *spec,
-                data_code_hp: spec
-                    .protection_hp
-                    .build(config.word_bits as usize)
-                    .expect("word width supported"),
-                data_code_ule: spec
-                    .protection_ule
-                    .build(config.word_bits as usize)
-                    .expect("word width supported"),
-                tag_code_hp: spec
-                    .protection_hp
-                    .build(config.tag_bits as usize)
-                    .expect("tag width supported"),
-                tag_code_ule: spec
-                    .protection_ule
-                    .build(config.tag_bits as usize)
-                    .expect("tag width supported"),
-                lines: (0..sets)
-                    .map(|_| Line {
-                        valid: false,
-                        dirty: false,
-                        tag: 0,
-                        tag_word: 0,
-                        words: vec![0; words as usize],
-                        lru: 0,
-                    })
-                    .collect(),
+                data_code_hp: Codec::build(spec.protection_hp, config.word_bits as usize),
+                data_code_ule: Codec::build(spec.protection_ule, config.word_bits as usize),
+                tag_code_hp: Codec::build(spec.protection_hp, config.tag_bits as usize),
+                tag_code_ule: Codec::build(spec.protection_ule, config.tag_bits as usize),
             })
             .collect();
+        let num_ways = ways.len();
+        let lines = sets * num_ways;
+        let enabled_now = ways.iter().map(|w| w.spec.enabled(mode)).collect();
+        let tag_plain_now = ways
+            .iter()
+            .map(|w| matches!(w.tag_code(mode), Codec::None(_)))
+            .collect();
+        let data_plain_now = ways
+            .iter()
+            .map(|w| matches!(w.data_code(mode), Codec::None(_)))
+            .collect();
+        let word_mask = if config.word_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.word_bits) - 1
+        };
+        // `validate()` guarantees power-of-two line bytes and sets, so
+        // the per-access index math compiles down to shifts and masks.
+        let line_shift = config.line_bytes.trailing_zeros();
+        let set_shift = config.sets().trailing_zeros();
+        let set_mask = config.sets() - 1;
+        let tag_mask = (1u64 << config.tag_bits) - 1;
+        let word_bytes = u64::from(config.word_bits) / 8;
+        let word_shift = word_bytes
+            .is_power_of_two()
+            .then(|| word_bytes.trailing_zeros());
         Ok(HybridCache {
             config,
             ways,
-            faults: HashMap::new(),
+            num_ways,
+            words_per_line,
+            line_shift,
+            set_shift,
+            set_mask,
+            tag_mask,
+            word_shift,
+            valid: vec![false; lines],
+            dirty: vec![false; lines],
+            tags: vec![0; lines],
+            tag_words: vec![0; lines],
+            lru_stamps: vec![0; lines],
+            words: vec![0; lines * words_per_line],
+            fault_masks: vec![0; lines],
+            enabled_now,
+            tag_plain_now,
+            data_plain_now,
+            word_mask,
+            faults: vec![Vec::new(); lines],
+            fault_entries: 0,
             mode,
             lru_clock: 0,
             stats: CacheStats::default(),
             soft_flips: false,
-            force_slow: false,
+            force_slow: global_force_slow_path(),
         })
     }
 
@@ -251,18 +388,62 @@ impl HybridCache {
         self.stats = CacheStats::default();
     }
 
+    /// Flat index of `(way, set)` into the struct-of-arrays line
+    /// state: set-major, so one set's ways are contiguous.
+    #[inline]
+    fn line_index(&self, way: usize, set: u64) -> usize {
+        set as usize * self.num_ways + way
+    }
+
+    /// The bit `slot` occupies in a line's fault mask. Slots past 63
+    /// share the top bit, which then conservatively means "probe the
+    /// fault map".
+    #[inline]
+    fn fault_mask_bit(slot: u64) -> u64 {
+        1u64 << slot.min(63)
+    }
+
     /// Installs a stuck-at fault pattern on one stored word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot's way or set is out of range for this
+    /// geometry.
     pub fn set_stuck_bits(&mut self, slot: WordSlot, faults: StuckBits) {
+        let li = self.line_index(slot.way, slot.set);
+        let entries = &mut self.faults[li];
+        let existing = entries.iter().position(|&(s, _)| s == slot.slot);
         if faults.mask == 0 {
-            self.faults.remove(&slot);
+            if let Some(i) = existing {
+                entries.remove(i);
+                self.fault_entries -= 1;
+            }
+            // Rebuild this line's slot mask from the surviving entries.
+            let mut mask = 0u64;
+            for &(s, _) in entries.iter() {
+                mask |= Self::fault_mask_bit(s);
+            }
+            self.fault_masks[li] = mask;
         } else {
-            self.faults.insert(slot, faults);
+            match existing {
+                Some(i) => entries[i].1 = faults,
+                None => {
+                    entries.push((slot.slot, faults));
+                    entries.sort_unstable_by_key(|&(s, _)| s);
+                    self.fault_entries += 1;
+                }
+            }
+            self.fault_masks[li] |= Self::fault_mask_bit(slot.slot);
         }
     }
 
     /// Number of faulty bits currently installed.
     pub fn fault_bit_count(&self) -> u64 {
-        self.faults.values().map(|f| u64::from(f.count())).sum()
+        self.faults
+            .iter()
+            .flatten()
+            .map(|&(_, f)| u64::from(f.count()))
+            .sum()
     }
 
     /// Whether every stored word is guaranteed pristine: no stuck-at
@@ -270,7 +451,7 @@ impl HybridCache {
     /// flush. While this holds, [`HybridCache::access`] runs the
     /// EDC-free fast path (see the type docs).
     pub fn is_fault_free(&self) -> bool {
-        self.faults.is_empty() && !self.soft_flips
+        self.fault_entries == 0 && !self.soft_flips
     }
 
     /// Forces every access through the full EDC slow path even when
@@ -283,7 +464,7 @@ impl HybridCache {
     }
 
     fn fast_path_ready(&self) -> bool {
-        !self.force_slow && self.faults.is_empty() && !self.soft_flips
+        !self.force_slow && self.fault_entries == 0 && !self.soft_flips
     }
 
     /// Flips one stored bit (a soft error / SEU). The flip lands in
@@ -293,12 +474,11 @@ impl HybridCache {
     ///
     /// Panics if the slot is out of range.
     pub fn inject_soft_error(&mut self, slot: WordSlot, bit: u32) {
-        let words_per_line = self.config.words_per_line();
-        let line = &mut self.ways[slot.way].lines[slot.set as usize];
-        if slot.slot == words_per_line {
-            line.tag_word ^= 1u64 << bit;
+        let li = self.line_index(slot.way, slot.set);
+        if slot.slot as usize == self.words_per_line {
+            self.tag_words[li] ^= 1u64 << bit;
         } else {
-            line.words[slot.slot as usize] ^= 1u64 << bit;
+            self.words[li * self.words_per_line + slot.slot as usize] ^= 1u64 << bit;
         }
         self.soft_flips = true;
     }
@@ -311,17 +491,24 @@ impl HybridCache {
     /// Returns the number of lines written back.
     pub fn set_mode(&mut self, mode: Mode) -> u64 {
         let mut writebacks = 0;
-        for way in &mut self.ways {
-            for line in &mut way.lines {
-                if line.valid && line.dirty {
-                    writebacks += 1;
-                }
-                line.valid = false;
-                line.dirty = false;
+        for (valid, dirty) in self.valid.iter_mut().zip(self.dirty.iter_mut()) {
+            if *valid && *dirty {
+                writebacks += 1;
             }
+            *valid = false;
+            *dirty = false;
         }
         self.stats.writebacks += writebacks;
         self.mode = mode;
+        for (enabled, way) in self.enabled_now.iter_mut().zip(&self.ways) {
+            *enabled = way.spec.enabled(mode);
+        }
+        for (plain, way) in self.tag_plain_now.iter_mut().zip(&self.ways) {
+            *plain = matches!(way.tag_code(mode), Codec::None(_));
+        }
+        for (plain, way) in self.data_plain_now.iter_mut().zip(&self.ways) {
+            *plain = matches!(way.data_code(mode), Codec::None(_));
+        }
         // Every line a past soft error could still inhabit is now
         // invalid, and a fill rewrites the whole line (tag included),
         // so the flipped bits can never be observed again.
@@ -341,43 +528,79 @@ impl HybridCache {
         }
     }
 
+    #[inline]
     fn index(&self, addr: u64) -> (u64, u64) {
-        let line_addr = addr / self.config.line_bytes;
-        let set = line_addr % self.config.sets();
-        let tag = (line_addr / self.config.sets()) & ((1u64 << self.config.tag_bits) - 1);
+        let line_addr = addr >> self.line_shift;
+        let set = line_addr & self.set_mask;
+        let tag = (line_addr >> self.set_shift) & self.tag_mask;
         (set, tag)
     }
 
-    fn read_stored(&self, slot: WordSlot) -> u64 {
-        let line = &self.ways[slot.way].lines[slot.set as usize];
-        let raw = if slot.slot == self.config.words_per_line() {
-            line.tag_word
-        } else {
-            line.words[slot.slot as usize]
-        };
-        match self.faults.get(&slot) {
-            Some(f) => f.apply(raw),
-            None => raw,
+    /// Splits `addr` into the word's slot within its line and the
+    /// word-aligned byte address, dividing only when the word size is
+    /// not a power of two.
+    #[inline]
+    fn word_slot_and_addr(&self, addr: u64) -> (u64, u64) {
+        let offset = addr & (self.config.line_bytes - 1);
+        match self.word_shift {
+            Some(s) => (offset >> s, (addr >> s) << s),
+            None => {
+                let word_bytes = u64::from(self.config.word_bits) / 8;
+                (offset / word_bytes, addr / word_bytes * word_bytes)
+            }
         }
+    }
+
+    /// Applies any stuck-at fault installed at `(li, slot)` to the raw
+    /// stored word. The per-line slot mask filters out the
+    /// overwhelmingly common pristine case before the (short, linear)
+    /// fault-list probe.
+    #[inline]
+    fn apply_faults(&self, li: usize, slot: u64, raw: u64) -> u64 {
+        if self.fault_masks[li] & Self::fault_mask_bit(slot) != 0 {
+            if let Some(&(_, f)) = self.faults[li].iter().find(|&&(s, _)| s == slot) {
+                return f.apply(raw);
+            }
+        }
+        raw
+    }
+
+    /// Reads one stored word through the fault layer, addressed as a
+    /// [`WordSlot`] (tests exercise the fault plumbing through this;
+    /// the hot paths index the arenas directly).
+    #[cfg(test)]
+    fn read_stored(&self, slot: WordSlot) -> u64 {
+        let li = self.line_index(slot.way, slot.set);
+        let raw = if slot.slot as usize == self.words_per_line {
+            self.tag_words[li]
+        } else {
+            self.words[li * self.words_per_line + slot.slot as usize]
+        };
+        self.apply_faults(li, slot.slot, raw)
     }
 
     /// Looks up `addr`, returning the hit way if any, and counts tag
     /// EDC activity.
-    fn lookup(&mut self, set: u64, tag: u64) -> (Option<usize>, u32, u32) {
+    fn lookup(&self, set: u64, tag: u64) -> (Option<usize>, u32, u32) {
         let mode = self.mode;
-        let words_per_line = self.config.words_per_line();
+        let tag_slot = self.words_per_line as u64;
+        let base = set as usize * self.num_ways;
         let mut corrected = 0;
         let mut detected = 0;
         let mut hit_way = None;
-        for w in 0..self.ways.len() {
-            if !self.ways[w].spec.enabled(mode) || !self.ways[w].lines[set as usize].valid {
+        for w in 0..self.num_ways {
+            if !self.enabled_now[w] || !self.valid[base + w] {
                 continue;
             }
-            let stored = self.read_stored(WordSlot {
-                way: w,
-                set,
-                slot: words_per_line,
-            });
+            let stored = self.apply_faults(base + w, tag_slot, self.tag_words[base + w]);
+            if self.tag_plain_now[w] {
+                // Unprotected tag: decode is a mask, so skip the codec
+                // struct and compare in place.
+                if stored & self.tag_mask == tag {
+                    hit_way = Some(w);
+                }
+                continue;
+            }
             match self.ways[w].tag_code(mode).decode(stored) {
                 Decoded::Clean { data } => {
                     if data == tag {
@@ -418,9 +641,7 @@ impl HybridCache {
             // Both the word slot and the verified payload address
             // derive from the configured word width (the same slot the
             // fill wrote with `value_for`).
-            let word_bytes = u64::from(self.config.word_bits) / 8;
-            let word_idx = (addr % self.config.line_bytes) / word_bytes;
-            let word_addr = addr / word_bytes * word_bytes;
+            let (word_idx, word_addr) = self.word_slot_and_addr(addr);
             self.access_slow(addr, is_write, set, tag, word_idx, word_addr)
         }
     }
@@ -431,16 +652,13 @@ impl HybridCache {
     /// [`HybridCache::access_slow`]: a fault-free slow access always
     /// yields `corrected == detected == silent == 0`.
     fn access_fast(&mut self, addr: u64, is_write: bool, set: u64, tag: u64) -> AccessOutcome {
-        let mode = self.mode;
         let mut outcome = AccessOutcome::default();
-        // Last match wins, mirroring the slow lookup's scan order.
+        let base = set as usize * self.num_ways;
+        // Last match wins, mirroring the slow lookup's scan order. The
+        // set's ways are one contiguous slice of each SoA vector.
         let mut hit_way = None;
-        for (w, way) in self.ways.iter().enumerate() {
-            if !way.spec.enabled(mode) {
-                continue;
-            }
-            let line = &way.lines[set as usize];
-            if line.valid && line.tag == tag {
+        for w in 0..self.num_ways {
+            if self.enabled_now[w] && self.valid[base + w] && self.tags[base + w] == tag {
                 hit_way = Some(w);
             }
         }
@@ -457,15 +675,14 @@ impl HybridCache {
                 victim
             }
         };
-        let line = &mut self.ways[way].lines[set as usize];
         if is_write {
             // The stored word already holds the encoded deterministic
             // payload (the fill materialized it, and a fault-free
             // store would rewrite the identical codeword), so only
             // the dirty bit moves.
-            line.dirty = true;
+            self.dirty[base + way] = true;
         }
-        line.lru = self.lru_clock;
+        self.lru_stamps[base + way] = self.lru_clock;
         outcome
     }
 
@@ -498,43 +715,50 @@ impl HybridCache {
             }
         };
 
-        let slot = WordSlot {
-            way,
-            set,
-            slot: word_idx,
-        };
+        let li = self.line_index(way, set);
         if is_write {
-            // Store: encode the new payload with the active code.
-            let code = self.ways[way].data_code(mode);
-            let encoded = code.encode(value_for(word_addr));
-            let line = &mut self.ways[way].lines[set as usize];
-            line.words[word_idx as usize] = encoded;
-            line.dirty = true;
-            line.lru = self.lru_clock;
+            // Store: encode the new payload with the active code. An
+            // unprotected way's encode is just the word mask.
+            let encoded = if self.data_plain_now[way] {
+                value_for(word_addr) & self.word_mask
+            } else {
+                self.ways[way].data_code(mode).encode(value_for(word_addr))
+            };
+            self.words[li * self.words_per_line + word_idx as usize] = encoded;
+            self.dirty[li] = true;
+            self.lru_stamps[li] = self.lru_clock;
         } else {
             // Load: decode through faults and verify the payload —
             // truncated to the stored word width, exactly as the
             // encoder stored it.
             let expected = self.expected_payload(word_addr);
-            let stored = self.read_stored(slot);
-            let code = self.ways[way].data_code(mode);
-            match code.decode(stored) {
-                Decoded::Clean { data } => {
-                    if data != expected {
-                        outcome.silent += 1;
-                    }
+            let raw = self.words[li * self.words_per_line + word_idx as usize];
+            let stored = self.apply_faults(li, word_idx, raw);
+            if self.data_plain_now[way] {
+                // Unprotected data: decode is the word mask, and every
+                // read is clean by construction.
+                if stored & self.word_mask != expected {
+                    outcome.silent += 1;
                 }
-                Decoded::Corrected { data, errors } => {
-                    corrected += errors;
-                    if data != expected {
-                        outcome.silent += 1;
+            } else {
+                match self.ways[way].data_code(mode).decode(stored) {
+                    Decoded::Clean { data } => {
+                        if data != expected {
+                            outcome.silent += 1;
+                        }
                     }
-                }
-                Decoded::Detected { .. } => {
-                    detected += 1;
+                    Decoded::Corrected { data, errors } => {
+                        corrected += errors;
+                        if data != expected {
+                            outcome.silent += 1;
+                        }
+                    }
+                    Decoded::Detected { .. } => {
+                        detected += 1;
+                    }
                 }
             }
-            self.ways[way].lines[set as usize].lru = self.lru_clock;
+            self.lru_stamps[li] = self.lru_clock;
         }
 
         outcome.corrected = corrected;
@@ -554,24 +778,24 @@ impl HybridCache {
     /// (tests, future bulk-load paths) can — so the choice is pinned
     /// explicitly rather than left to the scan order.
     fn choose_victim(&self, set: u64) -> usize {
-        let mode = self.mode;
+        let base = set as usize * self.num_ways;
         let mut best: Option<(usize, u64)> = None;
-        for (w, way) in self.ways.iter().enumerate() {
-            if !way.spec.enabled(mode) {
+        for w in 0..self.num_ways {
+            if !self.enabled_now[w] {
                 continue;
             }
-            let line = &way.lines[set as usize];
-            if !line.valid {
+            if !self.valid[base + w] {
                 return w;
             }
+            let stamp = self.lru_stamps[base + w];
             let strictly_older = match best {
                 None => true,
                 // `<`, not `<=`: on equal stamps the earlier
                 // (lowest-index) enabled way stays the victim.
-                Some((_, best_lru)) => line.lru < best_lru,
+                Some((_, best_lru)) => stamp < best_lru,
             };
             if strictly_older {
-                best = Some((w, line.lru));
+                best = Some((w, stamp));
             }
         }
         best.expect("at least one enabled way").0
@@ -581,26 +805,24 @@ impl HybridCache {
     /// was evicted.
     fn fill(&mut self, way: usize, set: u64, tag: u64, addr: u64) -> bool {
         let mode = self.mode;
-        let words_per_line = self.config.words_per_line();
-        let line_base = addr / self.config.line_bytes * self.config.line_bytes;
-        let data_code = match mode {
-            Mode::Hp => self.ways[way].data_code_hp.as_ref(),
-            Mode::Ule => self.ways[way].data_code_ule.as_ref(),
-        };
-        let mut new_words = Vec::with_capacity(words_per_line as usize);
-        for i in 0..words_per_line {
-            let word_addr = line_base + i * (u64::from(self.config.word_bits) / 8);
-            new_words.push(data_code.encode(value_for(word_addr)));
+        let line_base = (addr >> self.line_shift) << self.line_shift;
+        let word_bytes = u64::from(self.config.word_bits) / 8;
+        let li = self.line_index(way, set);
+        let data_code = self.ways[way].data_code(mode);
+        let start = li * self.words_per_line;
+        for (i, word) in self.words[start..start + self.words_per_line]
+            .iter_mut()
+            .enumerate()
+        {
+            let word_addr = line_base + i as u64 * word_bytes;
+            *word = data_code.encode(value_for(word_addr));
         }
-        let tag_encoded = self.ways[way].tag_code(mode).encode(tag);
-        let line = &mut self.ways[way].lines[set as usize];
-        let writeback = line.valid && line.dirty;
-        line.words = new_words;
-        line.tag = tag;
-        line.tag_word = tag_encoded;
-        line.valid = true;
-        line.dirty = false;
-        line.lru = self.lru_clock;
+        let writeback = self.valid[li] && self.dirty[li];
+        self.tags[li] = tag;
+        self.tag_words[li] = self.ways[way].tag_code(mode).encode(tag);
+        self.valid[li] = true;
+        self.dirty[li] = false;
+        self.lru_stamps[li] = self.lru_clock;
         self.stats.fills += 1;
         if writeback {
             self.stats.writebacks += 1;
@@ -610,10 +832,7 @@ impl HybridCache {
 
     /// Number of ways enabled in the current mode.
     pub fn enabled_ways(&self) -> usize {
-        self.ways
-            .iter()
-            .filter(|w| w.spec.enabled(self.mode))
-            .count()
+        self.enabled_now.iter().filter(|&&e| e).count()
     }
 }
 
@@ -850,7 +1069,7 @@ mod tests {
         };
         // Find which way holds the line.
         let way = (0..8)
-            .find(|&w| c.ways[w].lines[0].valid)
+            .find(|&w| c.valid[c.line_index(w, 0)])
             .expect("line filled");
         let tag_slot = WordSlot { way, ..tag_slot };
         let stored = c.read_stored(tag_slot);
@@ -925,26 +1144,33 @@ mod tests {
         // Invalid lines: the first *enabled* way wins, skipping the
         // HP ways that are gated off at ULE.
         c.access(0, false);
-        assert!(c.ways[2].lines[0].valid, "lowest enabled way fills first");
-        assert!(!c.ways[0].lines[0].valid, "disabled ways must be skipped");
+        assert!(
+            c.valid[c.line_index(2, 0)],
+            "lowest enabled way fills first"
+        );
+        assert!(
+            !c.valid[c.line_index(0, 0)],
+            "disabled ways must be skipped"
+        );
         c.access(sets * line, false);
-        assert!(c.ways[3].lines[0].valid);
+        assert!(c.valid[c.line_index(3, 0)]);
         // Stage an exact LRU tie between the two valid lines: the
         // documented tie-break evicts the lowest-index enabled way.
-        c.ways[2].lines[0].lru = 7;
-        c.ways[3].lines[0].lru = 7;
-        let survivor_tag = c.ways[3].lines[0].tag;
+        let (li2, li3) = (c.line_index(2, 0), c.line_index(3, 0));
+        c.lru_stamps[li2] = 7;
+        c.lru_stamps[li3] = 7;
+        let survivor_tag = c.tags[li3];
         c.access(2 * sets * line, false);
         assert_eq!(
-            c.ways[3].lines[0].tag, survivor_tag,
+            c.tags[li3], survivor_tag,
             "higher-index way must survive the tie"
         );
-        assert_ne!(c.ways[2].lines[0].tag, 0, "way 2 holds the new line");
+        assert_ne!(c.tags[li2], 0, "way 2 holds the new line");
         // At HP every way participates again: a fresh cache fills
         // way 0 first.
         let mut c = two_ule_ways_cache(Mode::Hp);
         c.access(0, false);
-        assert!(c.ways[0].lines[0].valid);
+        assert!(c.valid[c.line_index(0, 0)]);
     }
 
     #[test]
@@ -995,7 +1221,7 @@ mod tests {
         // A soft error disarms the fast path and is actually seen by
         // the unprotected slow path...
         let way = (0..8)
-            .find(|&w| c.ways[w].lines[0].valid)
+            .find(|&w| c.valid[c.line_index(w, 0)])
             .expect("line filled");
         let hit_slot = WordSlot {
             way,

@@ -288,6 +288,7 @@ pub struct SweepBuilder {
     artifacts: Option<Vec<String>>,
     scenarios: Option<Vec<Scenario>>,
     globs: Vec<String>,
+    force_slow: bool,
 }
 
 impl Default for SweepBuilder {
@@ -306,6 +307,7 @@ impl SweepBuilder {
             artifacts: None,
             scenarios: None,
             globs: Vec::new(),
+            force_slow: false,
         }
     }
 
@@ -347,6 +349,17 @@ impl SweepBuilder {
         self
     }
 
+    /// Routes every cache the sweep's experiments construct through
+    /// the full EDC slow path, even while fault-free (the
+    /// `--force-slow-path` diagnostic knob). The report is
+    /// byte-identical either way — the fast path is a pure
+    /// optimization — so this exists to exercise and time the decode
+    /// path on the standard matrix.
+    pub fn force_slow_path(mut self, force: bool) -> SweepBuilder {
+        self.force_slow = force;
+        self
+    }
+
     /// Whether the experiment id passes every configured filter.
     pub fn selects(&self, id: &str) -> bool {
         let (artifact, scenario) = id.split_once('/').unwrap_or((id, ""));
@@ -375,6 +388,10 @@ impl SweepBuilder {
     /// number of worker threads and returns the merged report plus
     /// per-job timings.
     pub fn run_with(&self, registry: &Registry) -> SweepOutcome {
+        // Pin (and afterwards restore) the process-global slow-path
+        // default: experiments build their caches internally, so the
+        // global is the only route the knob can take to reach them.
+        let _slow_pin = self.force_slow.then(ForceSlowPin::engage);
         let sweep_start = Instant::now();
         let selected: Vec<(&dyn Experiment, u64)> = registry
             .iter()
@@ -412,6 +429,27 @@ impl SweepBuilder {
 /// worker threads and returns the assembled report.
 pub fn run_all(params: ExperimentParams, jobs: usize) -> Report {
     SweepBuilder::new().params(params).jobs(jobs).run().report
+}
+
+/// RAII engagement of the process-global force-slow-path pin: set on
+/// construction, restored to the prior value on drop (so a panicking
+/// sweep does not leave the process pinned).
+struct ForceSlowPin {
+    prior: bool,
+}
+
+impl ForceSlowPin {
+    fn engage() -> ForceSlowPin {
+        let prior = hyvec_cachesim::cache::global_force_slow_path();
+        hyvec_cachesim::cache::set_global_force_slow_path(true);
+        ForceSlowPin { prior }
+    }
+}
+
+impl Drop for ForceSlowPin {
+    fn drop(&mut self) {
+        hyvec_cachesim::cache::set_global_force_slow_path(self.prior);
+    }
 }
 
 #[cfg(test)]

@@ -23,12 +23,20 @@
 //! * clean when everything is consistent;
 //! * single-error correction when the parity is odd and `S3 = S1^3`;
 //! * double-error correction by solving the quadratic error-locator
-//!   `x^2 + S1*x + (S3 + S1^3)/S1 = 0` via the GF(64) trace/quadratic
-//!   machinery in [`gf64`](crate::gf64);
+//!   `x^2 + S1*x + (S3 + S1^3)/S1 = 0`;
 //! * detection otherwise. Because the extended distance is 6, weight-3
 //!   error patterns can never be mis-corrected, only detected.
+//!
+//! The decode path is fully table-driven: each syndrome is 6 parallel
+//! parity trees over precomputed u64 column masks (12 [`parity64`]
+//! calls total), and the double-error locator is one lookup in a
+//! 4096-entry `(S1, S3)`→positions table built at construction from
+//! the key-equation arithmetic. The original per-set-bit polynomial
+//! evaluation and live GF(64) solve survive as
+//! [`reference::dected_decode`](crate::reference::dected_decode), used
+//! only by the equivalence test suites.
 
-use crate::gf64::{eval_poly_bits, Gf64};
+use crate::gf64::Gf64;
 use crate::parity::{parity64, xor_tree_gates};
 use crate::{mask_low, BuildCodeError, Decoded, EdcCode};
 
@@ -37,7 +45,14 @@ use crate::{mask_low, BuildCodeError, Decoded, EdcCode};
 pub const CHECK_BITS: usize = 13;
 
 /// Degree of the BCH generator polynomial.
-const BCH_PARITY_BITS: usize = 12;
+pub(crate) const BCH_PARITY_BITS: usize = 12;
+
+/// Bits per GF(64) syndrome component.
+const SYNDROME_BITS: usize = 6;
+
+/// `double_table` sentinel: the syndrome pair matches no correctable
+/// double-error pattern.
+const NO_DOUBLE: u16 = u16::MAX;
 
 /// Maximum supported data width: `63 - 12 = 51` bits.
 pub const MAX_DATA_BITS: usize = 51;
@@ -68,6 +83,16 @@ pub struct DectedCode {
     columns: Vec<u16>,
     /// For check bit `j`, the mask of data bits feeding its XOR tree.
     row_data_masks: [u64; BCH_PARITY_BITS],
+    /// For bit `j` of S1, the mask of codeword bits feeding its parity
+    /// tree: bit `i` is set when `alpha^i` has bit `j` set.
+    s1_masks: [u64; SYNDROME_BITS],
+    /// Same for S3 with `alpha^(3i)` columns.
+    s3_masks: [u64; SYNDROME_BITS],
+    /// Double-error locator table: entry `(s1 << 6) | s3` packs the
+    /// two codeword bit positions as `p1 | (p2 << 8)`, or
+    /// [`NO_DOUBLE`] when the pair matches no valid double error.
+    /// Precomputed at construction from the key-equation arithmetic.
+    double_table: Vec<u16>,
 }
 
 impl DectedCode {
@@ -98,11 +123,38 @@ impl DectedCode {
                 }
             }
         }
+        let bch_bits = BCH_PARITY_BITS + data_bits;
+        let mut s1_masks = [0u64; SYNDROME_BITS];
+        let mut s3_masks = [0u64; SYNDROME_BITS];
+        for i in 0..bch_bits {
+            let c1 = Gf64::alpha_pow(i).value();
+            let c3 = Gf64::alpha_pow(3 * i).value();
+            for j in 0..SYNDROME_BITS {
+                if c1 >> j & 1 == 1 {
+                    s1_masks[j] |= 1u64 << i;
+                }
+                if c3 >> j & 1 == 1 {
+                    s3_masks[j] |= 1u64 << i;
+                }
+            }
+        }
+        let mut double_table = vec![NO_DOUBLE; 64 * 64];
+        for s1 in 0..64u8 {
+            for s3 in 0..64u8 {
+                if let Some((p1, p2)) = locate_double(bch_bits, Gf64::new(s1), Gf64::new(s3)) {
+                    double_table[usize::from(s1) << SYNDROME_BITS | usize::from(s3)] =
+                        p1 as u16 | (p2 as u16) << 8;
+                }
+            }
+        }
         Ok(DectedCode {
             data_bits,
             generator,
             columns,
             row_data_masks,
+            s1_masks,
+            s3_masks,
+            double_table,
         })
     }
 
@@ -149,39 +201,53 @@ impl DectedCode {
         parity
     }
 
-    /// Attempts to locate two errors from syndromes `(s1, s3)`.
-    /// Returns codeword bit positions, or `None` when no valid
-    /// double-error pattern matches.
-    fn locate_double(&self, s1: Gf64, s3: Gf64) -> Option<(usize, usize)> {
-        if s1.is_zero() {
-            // X1 + X2 = 0 would need X1 == X2: impossible for two
-            // distinct positions.
-            return None;
+    /// Computes both syndromes of a received BCH word as 12 parallel
+    /// parity trees over the precomputed column masks.
+    #[inline]
+    fn syndromes(&self, bch_rx: u64) -> (Gf64, Gf64) {
+        let mut s1 = 0u8;
+        let mut s3 = 0u8;
+        for j in 0..SYNDROME_BITS {
+            s1 |= (parity64(bch_rx & self.s1_masks[j]) as u8) << j;
+            s3 |= (parity64(bch_rx & self.s3_masks[j]) as u8) << j;
         }
-        // Product of the locators: X1*X2 = (S3 + S1^3) / S1.
-        let prod = (s3 + s1.pow(3)) / s1;
-        if prod.is_zero() {
-            // Would imply one locator is zero: not a position.
-            return None;
-        }
-        // x^2 + S1 x + prod = 0; substitute x = S1 y:
-        // y^2 + y = prod / S1^2.
-        let c = prod / (s1 * s1);
-        let y0 = c.solve_quadratic()?;
-        let x1 = s1 * y0;
-        let x2 = s1 * (y0 + Gf64::ONE);
-        if x1.is_zero() || x2.is_zero() || x1 == x2 {
-            return None;
-        }
-        let p1 = x1.log().expect("nonzero");
-        let p2 = x2.log().expect("nonzero");
-        // Shortened code: positions beyond the transmitted length are
-        // known-zero and cannot be in error.
-        if p1 >= self.bch_bits() || p2 >= self.bch_bits() {
-            return None;
-        }
-        Some((p1.min(p2), p1.max(p2)))
+        (Gf64::new(s1), Gf64::new(s3))
     }
+}
+
+/// Locates two errors from syndromes `(s1, s3)` on a code shortened
+/// to `bch_bits` transmitted positions. Returns codeword bit
+/// positions, or `None` when no valid double-error pattern matches.
+/// Used at construction to fill the syndrome→locator table.
+fn locate_double(bch_bits: usize, s1: Gf64, s3: Gf64) -> Option<(usize, usize)> {
+    if s1.is_zero() {
+        // X1 + X2 = 0 would need X1 == X2: impossible for two
+        // distinct positions.
+        return None;
+    }
+    // Product of the locators: X1*X2 = (S3 + S1^3) / S1.
+    let prod = (s3 + s1.pow(3)) / s1;
+    if prod.is_zero() {
+        // Would imply one locator is zero: not a position.
+        return None;
+    }
+    // x^2 + S1 x + prod = 0; substitute x = S1 y:
+    // y^2 + y = prod / S1^2.
+    let c = prod / (s1 * s1);
+    let y0 = c.solve_quadratic()?;
+    let x1 = s1 * y0;
+    let x2 = s1 * (y0 + Gf64::ONE);
+    if x1.is_zero() || x2.is_zero() || x1 == x2 {
+        return None;
+    }
+    let p1 = x1.log().expect("nonzero");
+    let p2 = x2.log().expect("nonzero");
+    // Shortened code: positions beyond the transmitted length are
+    // known-zero and cannot be in error.
+    if p1 >= bch_bits || p2 >= bch_bits {
+        return None;
+    }
+    Some((p1.min(p2), p1.max(p2)))
 }
 
 impl EdcCode for DectedCode {
@@ -208,8 +274,7 @@ impl EdcCode for DectedCode {
         let parity_rx = (word >> bch_len) & 1;
         let parity_mismatch = parity64(bch_rx) as u64 != parity_rx;
 
-        let s1 = eval_poly_bits(bch_rx, Gf64::ALPHA);
-        let s3 = eval_poly_bits(bch_rx, Gf64::ALPHA.pow(3));
+        let (s1, s3) = self.syndromes(bch_rx);
 
         let extract = |bch: u64| mask_low(bch >> BCH_PARITY_BITS, self.data_bits);
 
@@ -254,7 +319,12 @@ impl EdcCode for DectedCode {
             }
             return Decoded::Detected { errors_at_least: 4 };
         }
-        if let Some((p1, p2)) = self.locate_double(s1, s3) {
+        // Double-error correction is one lookup in the precomputed
+        // syndrome→locator table.
+        let packed =
+            self.double_table[(usize::from(s1.value()) << SYNDROME_BITS) | usize::from(s3.value())];
+        if packed != NO_DOUBLE {
+            let (p1, p2) = (packed & 0xFF, packed >> 8);
             return Decoded::Corrected {
                 data: extract(bch_rx ^ (1u64 << p1) ^ (1u64 << p2)),
                 errors: 2,
@@ -370,6 +440,7 @@ fn generator_poly() -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gf64::eval_poly_bits;
 
     #[test]
     fn minimal_polys_match_the_literature() {

@@ -19,6 +19,13 @@
 //! Columns are chosen lowest-weight-first and greedily balanced across
 //! rows, which is Hsiao's optimization for minimizing the depth and
 //! fan-in of the encoder/decoder XOR trees.
+//!
+//! Both directions are table-driven: encoding is 7 [`parity64`] calls
+//! over precomputed u64 row masks, and decoding is one syndrome
+//! computation plus a single lookup in a 128-entry syndrome→action
+//! table built at construction. The original per-bit column-scan
+//! decoder survives as [`reference::hsiao_decode`](crate::reference::hsiao_decode),
+//! used only by the equivalence test suites.
 
 use crate::parity::{parity64, xor_tree_gates};
 use crate::{mask_low, BuildCodeError, Decoded, EdcCode};
@@ -53,7 +60,19 @@ pub struct HsiaoCode {
     /// For each data bit `i`, its 7-bit column of `H` (the syndrome a
     /// single error at `i` produces).
     columns: Vec<u8>,
+    /// Decode action for each of the 128 possible syndromes (see the
+    /// `SYN_*` constants): a data-bit position to flip, a check-bit
+    /// error leaving data intact, or a detected multi-bit error.
+    syndrome_table: [u8; 1 << CHECK_BITS],
 }
+
+/// `syndrome_table` entry: the error is in a check bit — data intact.
+const SYN_CHECK: u8 = 0x80;
+/// `syndrome_table` entry: even-weight syndrome — double error.
+const SYN_DOUBLE: u8 = 0x81;
+/// `syndrome_table` entry: odd syndrome matching no column — at least
+/// a triple error.
+const SYN_TRIPLE: u8 = 0x82;
 
 impl HsiaoCode {
     /// Builds a Hsiao SECDED code for `data_bits`-bit words.
@@ -78,10 +97,21 @@ impl HsiaoCode {
                 }
             }
         }
+        let mut syndrome_table = [SYN_TRIPLE; 1 << CHECK_BITS];
+        for (syndrome, entry) in syndrome_table.iter_mut().enumerate().skip(1) {
+            if syndrome.count_ones() % 2 == 0 {
+                *entry = SYN_DOUBLE;
+            } else if let Some(pos) = columns.iter().position(|&c| c == syndrome as u8) {
+                *entry = pos as u8;
+            } else if syndrome.count_ones() == 1 {
+                *entry = SYN_CHECK;
+            }
+        }
         Ok(HsiaoCode {
             data_bits,
             row_data_masks,
             columns,
+            syndrome_table,
         })
     }
 
@@ -155,23 +185,18 @@ impl EdcCode for HsiaoCode {
         if syndrome == 0 {
             return Decoded::Clean { data };
         }
-        if syndrome.count_ones() % 2 == 1 {
-            // Odd-weight syndrome: single-bit error at the matching
-            // column (possibly in the check bits, leaving data intact).
-            if let Some(pos) = self.columns.iter().position(|&c| c == syndrome) {
-                return Decoded::Corrected {
-                    data: data ^ (1u64 << pos),
-                    errors: 1,
-                };
-            }
-            if syndrome.count_ones() == 1 {
-                return Decoded::Corrected { data, errors: 1 };
-            }
-            // Odd syndrome matching no column: at least 3 errors.
-            return Decoded::Detected { errors_at_least: 3 };
+        // One table lookup classifies the syndrome: data-bit position
+        // (odd weight, matching column), check-bit error (data
+        // intact), double error, or ≥3 errors.
+        match self.syndrome_table[syndrome as usize] {
+            SYN_CHECK => Decoded::Corrected { data, errors: 1 },
+            SYN_DOUBLE => Decoded::Detected { errors_at_least: 2 },
+            SYN_TRIPLE => Decoded::Detected { errors_at_least: 3 },
+            pos => Decoded::Corrected {
+                data: data ^ (1u64 << pos),
+                errors: 1,
+            },
         }
-        // Even-weight nonzero syndrome: double error, uncorrectable.
-        Decoded::Detected { errors_at_least: 2 }
     }
 
     fn encoder_xor_gates(&self) -> usize {

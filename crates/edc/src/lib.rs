@@ -38,6 +38,7 @@ pub mod bch;
 pub mod gf64;
 pub mod hsiao;
 pub mod parity;
+pub mod reference;
 
 pub use bch::DectedCode;
 pub use hsiao::HsiaoCode;

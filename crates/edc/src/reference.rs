@@ -1,0 +1,176 @@
+//! Loop-based reference decoders, retained for equivalence testing.
+//!
+//! The production decode paths in [`hsiao`](crate::hsiao) and
+//! [`bch`](crate::bch) are table-driven: one syndrome computation over
+//! precomputed u64 row masks followed by a lookup. This module keeps
+//! the original per-bit implementations — a linear column scan for
+//! Hsiao, per-set-bit GF(64) polynomial evaluation plus on-the-fly
+//! key-equation arithmetic for DECTED — so the test suites can assert,
+//! corruption pattern by corruption pattern, that the tables reproduce
+//! the loops bit for bit.
+//!
+//! Nothing on the simulator's hot path calls into this module.
+
+use crate::bch::{DectedCode, BCH_PARITY_BITS};
+use crate::gf64::{Gf64, FIELD_SIZE};
+use crate::hsiao::{HsiaoCode, CHECK_BITS as HSIAO_CHECK_BITS};
+use crate::parity::parity64;
+use crate::{mask_low, Decoded, EdcCode};
+
+/// Decodes `word` with the original loop-based Hsiao SECDED decoder:
+/// the syndrome is accumulated bit by bit from the `H`-matrix columns
+/// and the error position located by a linear scan over the data
+/// columns.
+pub fn hsiao_decode(code: &HsiaoCode, word: u64) -> Decoded {
+    let k = code.data_bits();
+    let data = mask_low(word, k);
+    // Per-bit syndrome accumulation: XOR the column of every set
+    // codeword bit (data and check alike).
+    let mut syndrome = 0u8;
+    for i in 0..k + HSIAO_CHECK_BITS {
+        if word & (1u64 << i) != 0 {
+            syndrome ^= code.column(i);
+        }
+    }
+    if syndrome == 0 {
+        return Decoded::Clean { data };
+    }
+    if syndrome.count_ones() % 2 == 1 {
+        // Odd-weight syndrome: single-bit error at the matching
+        // column (possibly in the check bits, leaving data intact).
+        if let Some(pos) = (0..k).find(|&i| code.column(i) == syndrome) {
+            return Decoded::Corrected {
+                data: data ^ (1u64 << pos),
+                errors: 1,
+            };
+        }
+        if syndrome.count_ones() == 1 {
+            return Decoded::Corrected { data, errors: 1 };
+        }
+        // Odd syndrome matching no column: at least 3 errors.
+        return Decoded::Detected { errors_at_least: 3 };
+    }
+    // Even-weight nonzero syndrome: double error, uncorrectable.
+    Decoded::Detected { errors_at_least: 2 }
+}
+
+/// Evaluates the polynomial with GF(2) coefficients packed in `poly`
+/// at `x`, looping over the set bits with one `pow` each — the
+/// original syndrome computation.
+fn eval_poly_loop(poly: u64, x: Gf64) -> Gf64 {
+    let mut acc = Gf64::ZERO;
+    let mut bits = poly;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        acc = acc + x.pow(i);
+    }
+    acc
+}
+
+/// Solves `y^2 + y = c` by brute force over the 64 field elements —
+/// the original search the table-driven `Gf64::solve_quadratic`
+/// replaced.
+fn solve_quadratic_search(c: Gf64) -> Option<Gf64> {
+    (0..FIELD_SIZE as u8)
+        .map(Gf64::new)
+        .find(|&y| y * y + y == c)
+}
+
+/// Locates two errors from syndromes `(s1, s3)` with on-the-fly field
+/// arithmetic (key equation plus brute-force quadratic search).
+fn locate_double_loop(code: &DectedCode, s1: Gf64, s3: Gf64) -> Option<(usize, usize)> {
+    let bch_bits = BCH_PARITY_BITS + code.data_bits();
+    if s1.is_zero() {
+        // X1 + X2 = 0 would need X1 == X2: impossible for two
+        // distinct positions.
+        return None;
+    }
+    // Product of the locators: X1*X2 = (S3 + S1^3) / S1.
+    let prod = (s3 + s1.pow(3)) / s1;
+    if prod.is_zero() {
+        return None;
+    }
+    // x^2 + S1 x + prod = 0; substitute x = S1 y: y^2 + y = prod/S1^2.
+    let c = prod / (s1 * s1);
+    let y0 = solve_quadratic_search(c)?;
+    let x1 = s1 * y0;
+    let x2 = s1 * (y0 + Gf64::ONE);
+    if x1.is_zero() || x2.is_zero() || x1 == x2 {
+        return None;
+    }
+    let p1 = x1.log().expect("nonzero");
+    let p2 = x2.log().expect("nonzero");
+    // Shortened code: positions beyond the transmitted length are
+    // known-zero and cannot be in error.
+    if p1 >= bch_bits || p2 >= bch_bits {
+        return None;
+    }
+    Some((p1.min(p2), p1.max(p2)))
+}
+
+/// Decodes `word` with the original loop-based DECTED decoder: both
+/// syndromes evaluated term by term, the double-error locator solved
+/// with live GF(64) arithmetic instead of the precomputed
+/// syndrome→locator table.
+pub fn dected_decode(code: &DectedCode, word: u64) -> Decoded {
+    let bch_len = BCH_PARITY_BITS + code.data_bits();
+    let bch_rx = mask_low(word, bch_len);
+    let parity_rx = (word >> bch_len) & 1;
+    let parity_mismatch = u64::from(parity64(bch_rx)) != parity_rx;
+
+    let s1 = eval_poly_loop(bch_rx, Gf64::ALPHA);
+    let s3 = eval_poly_loop(bch_rx, Gf64::ALPHA.pow(3));
+
+    let extract = |bch: u64| mask_low(bch >> BCH_PARITY_BITS, code.data_bits());
+
+    if s1.is_zero() && s3.is_zero() {
+        return if parity_mismatch {
+            // The overall parity bit itself flipped.
+            Decoded::Corrected {
+                data: extract(bch_rx),
+                errors: 1,
+            }
+        } else {
+            Decoded::Clean {
+                data: extract(bch_rx),
+            }
+        };
+    }
+
+    if parity_mismatch {
+        // Odd number of errors: try single-error correction.
+        if !s1.is_zero() && s3 == s1.pow(3) {
+            let pos = s1.log().expect("nonzero");
+            if pos < bch_len {
+                return Decoded::Corrected {
+                    data: extract(bch_rx ^ (1u64 << pos)),
+                    errors: 1,
+                };
+            }
+        }
+        // Three (or more, odd) errors: detected, uncorrectable.
+        return Decoded::Detected { errors_at_least: 3 };
+    }
+
+    // Even number of errors with nonzero syndrome.
+    if !s1.is_zero() && s3 == s1.pow(3) {
+        // One BCH error plus one flip of the overall parity bit.
+        let pos = s1.log().expect("nonzero");
+        if pos < bch_len {
+            return Decoded::Corrected {
+                data: extract(bch_rx ^ (1u64 << pos)),
+                errors: 2,
+            };
+        }
+        return Decoded::Detected { errors_at_least: 4 };
+    }
+    if let Some((p1, p2)) = locate_double_loop(code, s1, s3) {
+        return Decoded::Corrected {
+            data: extract(bch_rx ^ (1u64 << p1) ^ (1u64 << p2)),
+            errors: 2,
+        };
+    }
+    // Even, nonzero, not a valid double: at least four errors.
+    Decoded::Detected { errors_at_least: 4 }
+}

@@ -134,6 +134,32 @@ fn multi_core_engine_is_bit_reproducible() {
 }
 
 #[test]
+fn forced_slow_path_matches_fast_path_counters() {
+    // `hyvec run-all --force-slow-path` routes every access through
+    // the full EDC decode path; the fast path is a pure optimization,
+    // so every rendered format must come out byte-identical.
+    use hyvec_core::render::{render, Format};
+    use hyvec_core::sweep::SweepBuilder;
+    let sweep = |force: bool| {
+        SweepBuilder::new()
+            .params(quick())
+            .jobs(2)
+            .force_slow_path(force)
+            .run()
+            .report
+    };
+    let fast = sweep(false);
+    let slow = sweep(true);
+    for format in [Format::Text, Format::Json, Format::Csv] {
+        assert_eq!(
+            render(&fast, format),
+            render(&slow, format),
+            "--force-slow-path changed the {format} output"
+        );
+    }
+}
+
+#[test]
 fn structured_formats_are_jobs_invariant_too() {
     // The determinism contract extends beyond the text renderer: the
     // JSON and CSV outputs must also be independent of worker count.
