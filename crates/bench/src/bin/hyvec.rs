@@ -80,6 +80,7 @@ fn list(options: &CliOptions) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // hyvec-lint: allow(determinism, "CLI argument intake in the runner binary; everything downstream is (artifact, scenario, seed)-keyed")
     let mut args = std::env::args().skip(1);
     let command = match args.next() {
         Some(c) => c,

@@ -121,6 +121,7 @@ pub fn write_bench(outcome: &hyvec_core::sweep::SweepOutcome, path: &str) -> Res
 /// process arguments, run the sweep restricted to `artifacts`, print
 /// the rendered report (and honor `--bench-out`).
 pub fn artifact_main(name: &str, artifacts: &[&str]) -> ExitCode {
+    // hyvec-lint: allow(determinism, "CLI argument intake for artifact binaries; parsed flags are the only ambient input")
     let options = match parse_flags(std::env::args().skip(1)) {
         Ok(options) => options,
         Err(e) => {

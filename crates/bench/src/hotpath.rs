@@ -205,6 +205,7 @@ fn build_system(w: &Workload) -> System {
     if w.l2_kb > 0 {
         builder = builder.l2(L2Config::unified(w.l2_kb));
     }
+    // hyvec-lint: allow(no-panic, "stock workload shapes are compile-time constants validated by the equivalence gate on every bench run")
     let mut sys = builder.build().expect("stock workload shapes are valid");
     if w.faulty {
         // Stuck bits on a handful of hot data words: the armed fault
@@ -292,6 +293,7 @@ pub fn measure(instructions: u64) -> HotpathReport {
             // Equivalence gate: one run per tier, counters compared.
             let (_, _, fast_stats) = run_once(w, instructions.min(20_000), false);
             let (_, _, slow_stats) = run_once(w, instructions.min(20_000), true);
+            // hyvec-lint: allow(no-panic, "the equivalence gate is the bench's whole point: a divergence must abort, not be reported as a timing")
             assert_eq!(
                 fast_stats, slow_stats,
                 "{}: fast and slow paths diverged",

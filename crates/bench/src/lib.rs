@@ -25,6 +25,7 @@
 //! throughput, simulator speed, yield math, trace generation).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod cli;

@@ -35,7 +35,9 @@ impl SramArray {
         cols_per_access: u32,
         tech: TechnologyParams,
     ) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): a zero-dimension array is a caller bug")
         assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): access width must fit the physical row")
         assert!(
             cols_per_access > 0 && cols_per_access <= cols,
             "cols_per_access must be in 1..=cols (got {cols_per_access} of {cols})"
@@ -64,6 +66,7 @@ impl SramArray {
         target_rows: u32,
         tech: TechnologyParams,
     ) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): fractional words cannot be laid out")
         assert!(
             bits.is_multiple_of(u64::from(word_bits)),
             "bits ({bits}) must be a multiple of word_bits ({word_bits})"

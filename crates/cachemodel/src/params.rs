@@ -92,7 +92,9 @@ impl OperatingPoint {
     ///
     /// Panics if `vdd` or `freq_hz` is not positive and finite.
     pub fn new(vdd: f64, freq_hz: f64) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): a non-positive supply voltage is physically meaningless")
         assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): a non-positive clock frequency is physically meaningless")
         assert!(
             freq_hz.is_finite() && freq_hz > 0.0,
             "frequency must be positive"

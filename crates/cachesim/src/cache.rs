@@ -60,14 +60,27 @@ enum Codec {
 }
 
 impl Codec {
+    /// Builds the codec for one way/width pair. Infallible by
+    /// construction: [`CacheConfig::validate`] rejects any
+    /// width/protection pair the code families cannot build
+    /// (`ConfigError::UnsupportedWidth`), and every construction path
+    /// validates before building codecs.
     fn build(protection: Protection, data_bits: usize) -> Self {
         match protection {
             Protection::None => Codec::None(NoCode::new(data_bits)),
             Protection::Secded => {
-                Codec::Secded(HsiaoCode::new(data_bits).expect("width supported"))
+                Codec::Secded(
+                    HsiaoCode::new(data_bits)
+                        // hyvec-lint: allow(no-panic, "width pre-checked by CacheConfig::validate, which gates every construction path")
+                        .expect("validate() guarantees SECDED supports this width"),
+                )
             }
             Protection::Dected => {
-                Codec::Dected(DectedCode::new(data_bits).expect("width supported"))
+                Codec::Dected(
+                    DectedCode::new(data_bits)
+                        // hyvec-lint: allow(no-panic, "width pre-checked by CacheConfig::validate, which gates every construction path")
+                        .expect("validate() guarantees DECTED supports this width"),
+                )
             }
         }
     }
@@ -286,6 +299,7 @@ impl HybridCache {
     pub fn new(config: CacheConfig, mode: Mode) -> Self {
         match HybridCache::try_new(config, mode) {
             Ok(cache) => cache,
+            // hyvec-lint: allow(no-panic, "documented panicking shim; HybridCache::try_new is the fallible path")
             Err(e) => panic!("invalid cache config: {e}"),
         }
     }
@@ -798,6 +812,7 @@ impl HybridCache {
                 best = Some((w, stamp));
             }
         }
+        // hyvec-lint: allow(no-panic, "validate() guarantees every mode has an enabled way: HP enables all, ULE is gated by NoUleWay")
         best.expect("at least one enabled way").0
     }
 

@@ -51,6 +51,16 @@ pub enum ConfigError {
     InvalidSeuRate,
     /// A multi-core build was requested with zero cores.
     NoCores,
+    /// A way's EDC family cannot protect the configured word or tag
+    /// width, so its codec could not be constructed.
+    UnsupportedWidth {
+        /// The protection family that was asked for.
+        protection: Protection,
+        /// The offending word/tag width in bits.
+        data_bits: u32,
+        /// The widest word the family supports.
+        max_data_bits: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +101,15 @@ impl fmt::Display for ConfigError {
             ConfigError::NoCores => {
                 write!(f, "a multi-core system needs at least one core")
             }
+            ConfigError::UnsupportedWidth {
+                protection,
+                data_bits,
+                max_data_bits,
+            } => write!(
+                f,
+                "{protection} cannot protect {data_bits}-bit words \
+                 (supports 1..={max_data_bits})"
+            ),
         }
     }
 }
@@ -264,6 +283,22 @@ impl CacheConfig {
         if !self.ways.iter().any(|w| w.ule_enabled) {
             return Err(ConfigError::NoUleWay);
         }
+        // Every way must be able to build its word and tag codecs:
+        // checking here is what lets the cache constructor treat codec
+        // construction as infallible.
+        for spec in &self.ways {
+            for protection in [spec.protection_hp, spec.protection_ule] {
+                for data_bits in [self.word_bits, self.tag_bits] {
+                    if !protection.supports(data_bits as usize) {
+                        return Err(ConfigError::UnsupportedWidth {
+                            protection,
+                            data_bits,
+                            max_data_bits: protection.max_data_bits(),
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -295,7 +330,13 @@ impl L2Config {
     /// 8 ways, and latency/energy defaults that grow gently with
     /// capacity (one extra lookup cycle per size doubling past 16KB,
     /// CACTI-flavored per-access energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_kb` is zero (a zero-capacity L2 is expressed by
+    /// omitting the L2 level entirely).
     pub fn unified(size_kb: u64) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics); `.max(1).ilog2()` below would silently mis-size otherwise")
         assert!(size_kb > 0, "L2 capacity must be positive");
         let doublings = (size_kb / 16).max(1).ilog2();
         let read_energy_pj = 4.0 + 0.02 * size_kb as f64;

@@ -492,6 +492,7 @@ impl System {
     pub fn new(config: SystemConfig) -> Self {
         match System::builder().config(config).build() {
             Ok(system) => system,
+            // hyvec-lint: allow(no-panic, "documented panicking shim; System::builder().build() is the fallible path")
             Err(e) => panic!("invalid cache config: {e}"),
         }
     }
@@ -507,6 +508,7 @@ impl System {
     ///
     /// Panics if `rate` is negative or not finite.
     pub fn set_soft_error_rate(&mut self, rate: f64, seed: u64) {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics); SystemBuilder::seu is the validating path")
         assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
         self.seu_rate_per_bit_cycle = rate;
         self.seu_rng = SmallRng::seed_from_u64(seed);

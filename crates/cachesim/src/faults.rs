@@ -30,6 +30,7 @@ pub fn pf_for_way(model: &FailureModel, spec: &WaySpec, vdd: f64) -> f64 {
 /// probability is outside `[0, 1]`.
 pub fn sample_faults<R: Rng>(cache: &mut HybridCache, pf_by_way: &[f64], rng: &mut R) -> u64 {
     let config = cache.config().clone();
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): one probability per way")
     assert_eq!(
         pf_by_way.len(),
         config.ways.len(),
@@ -38,6 +39,7 @@ pub fn sample_faults<R: Rng>(cache: &mut HybridCache, pf_by_way: &[f64], rng: &m
     let words_per_line = config.words_per_line();
     let mut injected = 0u64;
     for (w, (spec, &pf)) in config.ways.iter().zip(pf_by_way).enumerate() {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): probabilities live in [0, 1]")
         assert!((0.0..=1.0).contains(&pf), "pf out of range: {pf}");
         if !spec.ule_enabled || pf == 0.0 {
             continue;

@@ -253,6 +253,7 @@ impl<N: MemoryLevel> L2Cache<N> {
     /// [`L2Config::validate`]).
     pub fn new(config: L2Config, next: N) -> Self {
         if let Err(e) = config.validate() {
+            // hyvec-lint: allow(no-panic, "documented panicking constructor; SystemBuilder::build validates L2 configs on the fallible path")
             panic!("invalid L2 config: {e}");
         }
         let lines = (0..config.sets())
@@ -320,6 +321,7 @@ impl<N: MemoryLevel> MemoryLevel for L2Cache<N> {
         self.stats.misses += 1;
         let victim = (0..self.config.ways)
             .min_by_key(|&w| (ways[w].valid, ways[w].lru))
+            // hyvec-lint: allow(no-panic, "L2Config::validate rejects ways == 0, so the range is never empty")
             .expect("L2 has at least one way");
         let mut writeback_energy = 0.0;
         if ways[victim].valid && ways[victim].dirty {

@@ -212,6 +212,7 @@ impl MultiCoreSystem {
     where
         T: TraceSource,
     {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): one trace source per core")
         assert_eq!(
             sources.len(),
             self.fronts.len(),
@@ -395,6 +396,7 @@ fn run_entries<I, B>(
     let n = fronts.len();
     let seu_active = seu_rate > 0.0;
     for (core, entry) in entries {
+        // hyvec-lint: allow(no-panic, "Interleave tags every entry with a core index < n by construction; a violation is a driver bug")
         assert!(core < n, "entry for core {core} on a {n}-core system");
         let (il1, dl1) = &mut fronts[core];
         stats[core].instructions += 1;

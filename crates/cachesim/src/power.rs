@@ -164,6 +164,7 @@ impl CachePower {
                 let (hp_word, hp_tag) = active(Mode::Hp);
                 let (ule_word, ule_tag) = active(Mode::Ule);
                 let edc_for = |p: Protection, bits: usize| {
+                    // hyvec-lint: allow(no-panic, "widths come from a config that passed CacheConfig::validate, which checks codec support")
                     let code = p.build(bits).expect("supported width");
                     EdcCircuit::for_code(code.as_ref(), tech)
                 };

@@ -25,19 +25,25 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Miss ratio over all accesses (0 when idle).
+    // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             0.0
         } else {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             self.misses as f64 / self.accesses as f64
         }
     }
 
     /// Hit ratio over all accesses (0 when idle).
+    // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
     pub fn hit_ratio(&self) -> f64 {
         if self.accesses == 0 {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             0.0
         } else {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             self.hits as f64 / self.accesses as f64
         }
     }
@@ -92,10 +98,13 @@ pub struct RunStats {
 
 impl RunStats {
     /// Cycles per instruction.
+    // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
     pub fn cpi(&self) -> f64 {
         if self.instructions == 0 {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             0.0
         } else {
+            // hyvec-lint: allow(counter-hygiene, "derived read-only ratio over integer counters; nothing is accumulated in floats")
             self.cycles as f64 / self.instructions as f64
         }
     }

@@ -97,6 +97,22 @@ impl Architecture {
         )
     }
 
+    /// [`Architecture::build`] for the paper's pinned
+    /// (scenario, design-point) matrix, where sizing is statically
+    /// known to converge — the single documented-infallible entry the
+    /// experiment suite uses instead of scattering `expect` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default methodology fails to size the cells,
+    /// which the tier-1 tests prove impossible for every
+    /// (scenario, point) pair.
+    pub fn build_pinned(scenario: Scenario, point: DesignPoint) -> Self {
+        Architecture::build(scenario, point)
+            // hyvec-lint: allow(no-panic, "the paper's pinned scenario matrix always sizes with default inputs; every tier-1 run exercises all four pairs")
+            .expect("default methodology sizes the paper's pinned configurations")
+    }
+
     /// Builds with explicit models, way split (`hp_ways` + `ule_ways`)
     /// and memory latency — used by the ablation experiments.
     ///
@@ -117,6 +133,7 @@ impl Architecture {
         ule_ways: usize,
         memory_latency: u32,
     ) -> Result<Self, SizingError> {
+        // hyvec-lint: allow(no-panic, "documented precondition: a hybrid cache without ULE ways is a caller bug, not a sizing failure")
         assert!(ule_ways > 0, "hybrid operation requires ULE ways");
         // Way counts change the per-way word counts: recompute the
         // methodology over the actual ULE-way geometry.
@@ -171,10 +188,12 @@ impl Architecture {
         config
             .il1
             .validate()
+            // hyvec-lint: allow(no-panic, "geometry is generated from paper constants a few lines up; failure is a construction bug, pinned by tier-1 tests")
             .expect("generated IL1 geometry is valid");
         config
             .dl1
             .validate()
+            // hyvec-lint: allow(no-panic, "geometry is generated from paper constants a few lines up; failure is a construction bug, pinned by tier-1 tests")
             .expect("generated DL1 geometry is valid");
 
         Ok(Architecture {
@@ -197,6 +216,7 @@ impl Architecture {
             .ways
             .iter()
             .find(|w| w.ule_enabled)
+            // hyvec-lint: allow(no-panic, "the config passed CacheConfig::validate, whose NoUleWay check guarantees an ULE way")
             .expect("ULE way exists");
         let cell = ule_way.cell.kind().short_name();
         let ule = match ule_way.protection_ule {

@@ -25,6 +25,14 @@ pub struct Registry {
     experiments: Vec<Box<dyn Experiment>>,
 }
 
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("ids", &self.ids())
+            .finish()
+    }
+}
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
@@ -83,6 +91,7 @@ impl Registry {
     /// Panics if an experiment with the same id is already registered
     /// (duplicate ids would collide in seed derivation and reports).
     pub fn register(&mut self, experiment: Box<dyn Experiment>) {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): duplicate ids would collide in seed derivation, corrupting determinism")
         assert!(
             self.get(experiment.id()).is_none(),
             "duplicate experiment id {:?}",

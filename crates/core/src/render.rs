@@ -87,6 +87,7 @@ pub fn render(report: &Report, format: Format) -> String {
 // ---------------------------------------------------------------------
 
 /// The historical human-readable format.
+#[derive(Debug)]
 pub struct TextRenderer;
 
 impl Render for TextRenderer {
@@ -120,6 +121,7 @@ impl Render for TextRenderer {
 // ---------------------------------------------------------------------
 
 /// The structured JSON backend.
+#[derive(Debug)]
 pub struct JsonRenderer;
 
 /// Schema tag emitted at the top of every JSON report.
@@ -231,6 +233,7 @@ impl Render for JsonRenderer {
 // ---------------------------------------------------------------------
 
 /// The long-format CSV backend.
+#[derive(Debug)]
 pub struct CsvRenderer;
 
 /// Header line of the CSV output.

@@ -82,6 +82,7 @@ impl Cell {
     pub fn int(v: impl TryInto<i64>) -> Cell {
         Cell::Int(
             v.try_into()
+                // hyvec-lint: allow(no-panic, "counter magnitudes are bounded far below i64::MAX by instruction budgets; a wrapped cell would render a silently wrong figure")
                 .unwrap_or_else(|_| panic!("integer cell out of i64 range")),
         )
     }
@@ -294,6 +295,7 @@ impl Table {
     /// Panics if the row's arity does not match the column count —
     /// the invariant every renderer relies on.
     pub fn push_row(&mut self, cells: Vec<Cell>) {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): renderers index rows by column, so a ragged table must abort at construction")
         assert_eq!(
             cells.len(),
             self.columns.len(),

@@ -145,6 +145,7 @@ where
                     break;
                 }
                 let result = f(&items[i]);
+                // hyvec-lint: allow(no-panic, "a poisoned slot means a sibling worker already panicked; propagating the abort is the only sound option")
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -153,7 +154,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // hyvec-lint: allow(no-panic, "a poisoned slot means a worker already panicked; propagating the abort is the only sound option")
                 .expect("result slot poisoned")
+                // hyvec-lint: allow(no-panic, "the scoped threads are joined above, and the work loop fills every index < n exactly once")
                 .expect("worker filled every slot")
         })
         .collect()

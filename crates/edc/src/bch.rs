@@ -160,11 +160,13 @@ impl DectedCode {
 
     /// The DECTED code protecting 32-bit data words (45-bit codeword).
     pub fn dected32() -> Self {
+        // hyvec-lint: allow(no-panic, "constant width 32 is within MAX_DATA_BITS = 51")
         DectedCode::new(32).expect("32 <= 51")
     }
 
     /// The DECTED code protecting 26-bit tag words (39-bit codeword).
     pub fn dected26() -> Self {
+        // hyvec-lint: allow(no-panic, "constant width 26 is within MAX_DATA_BITS = 51")
         DectedCode::new(26).expect("26 <= 51")
     }
 
@@ -240,7 +242,9 @@ fn locate_double(bch_bits: usize, s1: Gf64, s3: Gf64) -> Option<(usize, usize)> 
     if x1.is_zero() || x2.is_zero() || x1 == x2 {
         return None;
     }
+    // hyvec-lint: allow(no-panic, "x1 and x2 are checked nonzero on the previous line, so log() is defined")
     let p1 = x1.log().expect("nonzero");
+    // hyvec-lint: allow(no-panic, "x1 and x2 are checked nonzero on the previous line, so log() is defined")
     let p2 = x2.log().expect("nonzero");
     // Shortened code: positions beyond the transmitted length are
     // known-zero and cannot be in error.
@@ -295,6 +299,7 @@ impl EdcCode for DectedCode {
         if parity_mismatch {
             // Odd number of errors: try single-error correction.
             if !s1.is_zero() && s3 == s1.pow(3) {
+                // hyvec-lint: allow(no-panic, "guarded by the !s1.is_zero() check in the enclosing condition")
                 let pos = s1.log().expect("nonzero");
                 if pos < bch_len {
                     return Decoded::Corrected {
@@ -310,6 +315,7 @@ impl EdcCode for DectedCode {
         // Even number of errors with nonzero syndrome.
         if !s1.is_zero() && s3 == s1.pow(3) {
             // One BCH error plus one flip of the overall parity bit.
+            // hyvec-lint: allow(no-panic, "guarded by the !s1.is_zero() check in the enclosing condition")
             let pos = s1.log().expect("nonzero");
             if pos < bch_len {
                 return Decoded::Corrected {
@@ -424,6 +430,7 @@ fn minimal_poly(e: usize) -> u64 {
         match c.value() {
             0 => {}
             1 => packed |= 1u64 << i,
+            // hyvec-lint: allow(no-panic, "conjugate products over GF(64) always collapse to GF(2) coefficients; anything else is a field-arithmetic bug")
             v => panic!("minimal polynomial coefficient {v} not in GF(2)"),
         }
     }

@@ -118,12 +118,14 @@ impl HsiaoCode {
     /// The (39,32) code protecting 32-bit data words, as used for cache
     /// data in the paper.
     pub fn secded32() -> Self {
+        // hyvec-lint: allow(no-panic, "constant width 32 is within MAX_DATA_BITS = 57")
         HsiaoCode::new(32).expect("32 <= 57")
     }
 
     /// The (33,26) code protecting 26-bit tag words, as used for cache
     /// tags in the paper.
     pub fn secded26() -> Self {
+        // hyvec-lint: allow(no-panic, "constant width 26 is within MAX_DATA_BITS = 57")
         HsiaoCode::new(26).expect("26 <= 57")
     }
 
@@ -155,6 +157,7 @@ impl HsiaoCode {
         } else if i < self.data_bits + CHECK_BITS {
             1 << (i - self.data_bits)
         } else {
+            // hyvec-lint: allow(no-panic, "documented precondition: every caller iterates 0..total_bits(); an out-of-range index is a decoder bug")
             panic!(
                 "bit index {i} out of range for {}-bit codeword",
                 self.total_bits()
@@ -244,10 +247,12 @@ fn select_columns(k: usize) -> Vec<u8> {
                             *l += 1;
                         }
                     }
+                    // hyvec-lint: allow(no-panic, "load is a fixed [usize; 7] array, never empty")
                     let max = *load.iter().max().expect("7 rows");
                     let sum_sq: usize = load.iter().map(|&l| l * l).sum();
                     (max, sum_sq, c)
                 })
+                // hyvec-lint: allow(no-panic, "the loop runs while chosen.len() < k <= candidate count, checked by the assert below")
                 .expect("candidates nonempty");
             let col = candidates.swap_remove(best_idx);
             for (j, l) in row_load.iter_mut().enumerate() {
@@ -258,6 +263,7 @@ fn select_columns(k: usize) -> Vec<u8> {
             chosen.push(col);
         }
     }
+    // hyvec-lint: allow(no-panic, "construction guard: HsiaoCode::new bounds k by MAX_DATA_BITS, the odd-weight column count")
     assert_eq!(chosen.len(), k, "requested width exceeds available columns");
     chosen
 }

@@ -32,6 +32,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod bch;
@@ -160,6 +161,7 @@ impl NoCode {
     ///
     /// Panics if `data_bits > 64`.
     pub fn new(data_bits: usize) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): payloads are stored in one u64")
         assert!(data_bits <= 64, "NoCode supports at most 64 data bits");
         NoCode { data_bits }
     }
@@ -239,6 +241,23 @@ impl Protection {
             Protection::Secded => 1,
             Protection::Dected => 2,
         }
+    }
+
+    /// The widest data word the family can protect (64 for
+    /// [`Protection::None`]: a pass-through still stores its word in
+    /// one `u64`).
+    pub fn max_data_bits(self) -> usize {
+        match self {
+            Protection::None => 64,
+            Protection::Secded => hsiao::MAX_DATA_BITS,
+            Protection::Dected => bch::MAX_DATA_BITS,
+        }
+    }
+
+    /// Whether the family can protect `data_bits`-bit words —
+    /// constructing a code for a supported width never fails.
+    pub fn supports(self, data_bits: usize) -> bool {
+        (1..=self.max_data_bits()).contains(&data_bits)
     }
 
     /// Builds a boxed codec for `data_bits`-bit words.

@@ -99,7 +99,9 @@ fn locate_double_loop(code: &DectedCode, s1: Gf64, s3: Gf64) -> Option<(usize, u
     if x1.is_zero() || x2.is_zero() || x1 == x2 {
         return None;
     }
+    // hyvec-lint: allow(no-panic, "x1 and x2 are checked nonzero on the previous line, so log() is defined")
     let p1 = x1.log().expect("nonzero");
+    // hyvec-lint: allow(no-panic, "x1 and x2 are checked nonzero on the previous line, so log() is defined")
     let p2 = x2.log().expect("nonzero");
     // Shortened code: positions beyond the transmitted length are
     // known-zero and cannot be in error.
@@ -141,6 +143,7 @@ pub fn dected_decode(code: &DectedCode, word: u64) -> Decoded {
     if parity_mismatch {
         // Odd number of errors: try single-error correction.
         if !s1.is_zero() && s3 == s1.pow(3) {
+            // hyvec-lint: allow(no-panic, "guarded by the !s1.is_zero() check in the enclosing condition")
             let pos = s1.log().expect("nonzero");
             if pos < bch_len {
                 return Decoded::Corrected {
@@ -156,6 +159,7 @@ pub fn dected_decode(code: &DectedCode, word: u64) -> Decoded {
     // Even number of errors with nonzero syndrome.
     if !s1.is_zero() && s3 == s1.pow(3) {
         // One BCH error plus one flip of the overall parity bit.
+        // hyvec-lint: allow(no-panic, "guarded by the !s1.is_zero() check in the enclosing condition")
         let pos = s1.log().expect("nonzero");
         if pos < bch_len {
             return Decoded::Corrected {

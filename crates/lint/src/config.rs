@@ -1,0 +1,210 @@
+//! `lint.toml` — workspace-level lint configuration.
+//!
+//! A deliberately small TOML subset, parsed by hand (the build is
+//! offline, so no toml crate): `#` comments, top-level
+//! `key = ["..."]` string arrays (single- or multi-line), and one
+//! `[allow]` table mapping file paths to the list of rules that are
+//! exempt module-wide there. Anything fancier is a config error —
+//! better to fail loudly than to silently ignore a suppression.
+//!
+//! ```toml
+//! skip = ["vendor", "target"]
+//! counter-files = ["crates/cachesim/src/stats.rs"]
+//!
+//! [allow]
+//! "crates/core/src/sweep.rs" = ["determinism"] # wall-time capture
+//! ```
+
+/// Parsed workspace lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace-relative paths (files or directory prefixes) never
+    /// scanned.
+    pub skip: Vec<String>,
+    /// Files whose counter-accounting discipline the `counter-hygiene`
+    /// rule enforces. Patterns per [`path_matches`].
+    pub counter_files: Vec<String>,
+    /// Module-level allowlist: `(path pattern, rules exempt there)`.
+    pub allow: Vec<(String, Vec<String>)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            skip: vec![
+                "target".to_string(),
+                "vendor".to_string(),
+                ".git".to_string(),
+            ],
+            counter_files: Vec::new(),
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// True when `rel_path` must not be scanned at all.
+    pub fn is_skipped(&self, rel_path: &str) -> bool {
+        self.skip
+            .iter()
+            .any(|s| rel_path == s || rel_path.starts_with(&format!("{s}/")))
+    }
+
+    /// True when `rel_path` is a counter-accounting module.
+    pub fn is_counter_file(&self, rel_path: &str) -> bool {
+        self.counter_files.iter().any(|p| path_matches(p, rel_path))
+    }
+
+    /// True when `rule` is allowlisted module-wide for `rel_path`.
+    pub fn is_allowed(&self, rel_path: &str, rule: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|(p, rules)| path_matches(p, rel_path) && rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Matches a config path pattern against a workspace-relative path.
+///
+/// Three forms: an exact path, a `dir/**` prefix, or a `**/name.rs`
+/// suffix. No general globbing — these cover every allowlist shape the
+/// workspace needs while staying trivially auditable.
+pub fn path_matches(pattern: &str, path: &str) -> bool {
+    if let Some(prefix) = pattern.strip_suffix("/**") {
+        path == prefix || path.starts_with(&format!("{prefix}/"))
+    } else if let Some(suffix) = pattern.strip_prefix("**/") {
+        path == suffix || path.ends_with(&format!("/{suffix}"))
+    } else {
+        path == pattern
+    }
+}
+
+/// Parses `lint.toml` text. Errors carry the offending 1-based line.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config {
+        skip: Vec::new(),
+        counter_files: Vec::new(),
+        allow: Vec::new(),
+    };
+    let mut in_allow = false;
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[allow]" {
+            in_allow = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: unknown section {line}", idx + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = [...]`", idx + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        // Accumulate a possibly multi-line array.
+        let mut value = value.trim().to_string();
+        while !value.ends_with(']') {
+            let Some((_, cont)) = lines.next() else {
+                return Err(format!("line {}: unterminated array for `{key}`", idx + 1));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(cont).trim());
+        }
+        let items = parse_string_array(&value).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if in_allow {
+            cfg.allow.push((key, items));
+        } else {
+            match key.as_str() {
+                "skip" => cfg.skip = items,
+                "counter-files" => cfg.counter_files = items,
+                other => {
+                    return Err(format!("line {}: unknown key `{other}`", idx + 1));
+                }
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strips a `#` comment, honoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its items.
+fn parse_string_array(text: &str) -> Result<Vec<String>, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a `[...]` array, got `{text}`"))?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue; // trailing comma
+        }
+        let item = piece
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("array items must be quoted strings, got `{piece}`"))?;
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = parse(concat!(
+            "# comment\n",
+            "skip = [\"target\", \"vendor\"] # tail comment\n",
+            "counter-files = [\n",
+            "    \"crates/cachesim/src/stats.rs\",\n",
+            "]\n",
+            "\n",
+            "[allow]\n",
+            "\"crates/core/src/sweep.rs\" = [\"determinism\"]\n",
+        ))
+        .expect("parses");
+        assert!(cfg.is_skipped("vendor/rand/src/lib.rs"));
+        assert!(!cfg.is_skipped("crates/core/src/sweep.rs"));
+        assert!(cfg.is_counter_file("crates/cachesim/src/stats.rs"));
+        assert!(cfg.is_allowed("crates/core/src/sweep.rs", "determinism"));
+        assert!(!cfg.is_allowed("crates/core/src/sweep.rs", "no-panic"));
+    }
+
+    #[test]
+    fn pattern_forms() {
+        assert!(path_matches("a/b.rs", "a/b.rs"));
+        assert!(path_matches("a/**", "a/b/c.rs"));
+        assert!(!path_matches("a/**", "ab/c.rs"));
+        assert!(path_matches("**/stats.rs", "crates/x/src/stats.rs"));
+        assert!(!path_matches("**/stats.rs", "crates/x/src/mystats.rs"));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        assert!(parse("[mystery]\n").unwrap_err().contains("line 1"));
+        assert!(parse("skip = [unquoted]\n").unwrap_err().contains("quoted"));
+        assert!(parse("bogus = []\n").unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("skip = [\"weird#dir\"]\n").expect("parses");
+        assert_eq!(cfg.skip, ["weird#dir"]);
+    }
+}

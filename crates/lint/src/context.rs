@@ -1,0 +1,208 @@
+//! File classification and test-region detection.
+//!
+//! Rules apply differently by context: library code carries the full
+//! determinism/no-panic contract, binary front-ends may parse argv but
+//! must still be deterministic, and test/bench/example code is exempt
+//! from most rules (hard-coded seeds and asserts are the point of a
+//! test). Context is derived from the path plus an in-file scan for
+//! `#[cfg(test)]` / `#[test]` items.
+
+use crate::lexer::{Tok, TokKind};
+
+/// The coarse kind of a source file, from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: the default, and the strictest context.
+    Lib,
+    /// Binary front-ends: `src/bin/**`, `src/main.rs`, `build.rs`.
+    Bin,
+    /// Test-like code: `tests/**`, `benches/**`, `examples/**`.
+    TestLike,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> FileKind {
+    let p = rel_path;
+    if p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.starts_with("benches/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+    {
+        FileKind::TestLike
+    } else if p.contains("/src/bin/") || p.ends_with("src/main.rs") || p.ends_with("build.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Inclusive line spans of in-file test code (`#[cfg(test)]` /
+/// `#[test]` items), sorted by start line.
+#[derive(Debug, Default)]
+pub struct TestSpans {
+    spans: Vec<(u32, u32)>,
+}
+
+impl TestSpans {
+    /// True when `line` falls inside any test item.
+    pub fn contains(&self, line: u32) -> bool {
+        self.spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Scans the token stream for `#[cfg(test)]`- or `#[test]`-attributed
+/// items and returns their line spans.
+///
+/// The item following a test attribute extends to its matching closing
+/// brace (for `mod`/`fn`/`impl` bodies) or to the terminating `;` (for
+/// `use`/`static` items). Attribute arguments are matched loosely: any
+/// attribute whose argument tokens mention the identifier `test`
+/// counts, which over-marks exotic forms like `#[cfg(not(test))]` —
+/// erring toward fewer diagnostics, never spurious ones.
+pub fn test_spans(toks: &[Tok]) -> TestSpans {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_punct(toks, i, "#") || !is_punct(toks, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut bracket_depth = 1usize;
+        let mut mentions_test = false;
+        while j < toks.len() && bracket_depth > 0 {
+            let t = &toks[j];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "[") => bracket_depth += 1,
+                (TokKind::Punct, "]") => bracket_depth -= 1,
+                (TokKind::Ident, "test") => mentions_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        while is_punct(toks, j, "#") && is_punct(toks, j + 1, "[") {
+            let mut depth = 1usize;
+            j += 2;
+            while j < toks.len() && depth > 0 {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The item body: first `{` before any top-level `;` ends at its
+        // matching `}`; a `;` first means a braceless item.
+        let mut end_line = attr_line;
+        let mut k = j;
+        let mut found = false;
+        while k < toks.len() {
+            match (toks[k].kind, toks[k].text.as_str()) {
+                (TokKind::Punct, ";") => {
+                    end_line = toks[k].line;
+                    k += 1;
+                    found = true;
+                    break;
+                }
+                (TokKind::Punct, "{") => {
+                    let mut depth = 1usize;
+                    k += 1;
+                    while k < toks.len() && depth > 0 {
+                        match (toks[k].kind, toks[k].text.as_str()) {
+                            (TokKind::Punct, "{") => depth += 1,
+                            (TokKind::Punct, "}") => depth -= 1,
+                            _ => {}
+                        }
+                        end_line = toks[k].line;
+                        k += 1;
+                    }
+                    found = true;
+                    break;
+                }
+                _ => {
+                    end_line = toks[k].line;
+                    k += 1;
+                }
+            }
+        }
+        if found || k >= toks.len() {
+            spans.push((attr_line, end_line));
+        }
+        i = k.max(i + 1);
+    }
+    TestSpans { spans }
+}
+
+fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Punct && t.text == p)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classify_by_path() {
+        assert_eq!(classify("crates/core/src/render.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/hyvec.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/edc/tests/distance.rs"), FileKind::TestLike);
+        assert_eq!(
+            classify("crates/bench/benches/hotpath.rs"),
+            FileKind::TestLike
+        );
+        assert_eq!(classify("examples/multicore.rs"), FileKind::TestLike);
+        assert_eq!(classify("tests/determinism.rs"), FileKind::TestLike);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_is_detected() {
+        let src = concat!(
+            "pub fn live() {}\n",       // 1
+            "#[cfg(test)]\n",           // 2
+            "mod tests {\n",            // 3
+            "    use super::*;\n",      // 4
+            "    #[test]\n",            // 5
+            "    fn t() { live(); }\n", // 6
+            "}\n",                      // 7
+            "pub fn also_live() {}\n",  // 8
+        );
+        let lexed = lex(src);
+        let spans = test_spans(&lexed.toks);
+        assert!(!spans.contains(1));
+        assert!(spans.contains(2));
+        assert!(spans.contains(4));
+        assert!(spans.contains(7));
+        assert!(!spans.contains(8));
+    }
+
+    #[test]
+    fn braceless_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn live() {}\n";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed.toks);
+        assert!(spans.contains(2));
+        assert!(!spans.contains(3));
+    }
+
+    #[test]
+    fn stacked_attributes_still_cover_the_item() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    let _ = 1;\n}\n";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed.toks);
+        assert!(spans.contains(4));
+    }
+}

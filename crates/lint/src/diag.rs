@@ -1,0 +1,117 @@
+//! Diagnostics: the rule taxonomy and the `file:line:rule` output.
+
+use std::fmt;
+
+/// Every rule hyvec-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads, hash-order collections, and environment reads
+    /// in simulation code.
+    Determinism,
+    /// Ambient-entropy RNG construction, or hard-coded seeds outside
+    /// tests.
+    SeededRng,
+    /// `unwrap`/`expect`/`panic!`-family calls in library code.
+    NoPanic,
+    /// Narrowing casts and float arithmetic in counter-accounting
+    /// modules.
+    CounterHygiene,
+    /// Any `unsafe` token, workspace-wide.
+    NoUnsafe,
+    /// A malformed or unknown `hyvec-lint:` annotation.
+    BadAllow,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::Determinism,
+    Rule::SeededRng,
+    Rule::NoPanic,
+    Rule::CounterHygiene,
+    Rule::NoUnsafe,
+    Rule::BadAllow,
+];
+
+impl Rule {
+    /// The rule's stable name — what annotations and `lint.toml` use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::SeededRng => "seeded-rng",
+            Rule::NoPanic => "no-panic",
+            Rule::CounterHygiene => "counter-hygiene",
+            Rule::NoUnsafe => "no-unsafe",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Looks a rule up by its stable name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a rule fired at a workspace-relative location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human explanation, including the offending construct.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The `file:line: rule: message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+
+    /// A ready-to-paste suppression for `--fix-allow` mode.
+    pub fn fix_allow(&self) -> String {
+        format!(
+            "{}:{}: // hyvec-lint: allow({}, \"<why this site is sound>\")",
+            self.path, self.line, self.rule
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn render_shape() {
+        let d = Diagnostic {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: Rule::Determinism,
+            message: "banned type `HashMap`".to_string(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/x/src/lib.rs:7: determinism: banned type `HashMap`"
+        );
+        assert!(d.fix_allow().contains("allow(determinism,"));
+    }
+}

@@ -1,0 +1,565 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules only need a comment- and string-aware token stream
+//! with line numbers — not a full grammar — so this lexer recognizes
+//! exactly: line/block comments (nested), string/raw-string/byte-string
+//! literals, char literals vs. lifetimes, numeric literals (classified
+//! int vs. float), identifiers (including raw `r#ident`), and
+//! punctuation (`::` is fused, everything else is a single char).
+//!
+//! Comments are not emitted as tokens; instead, any comment whose text
+//! contains the `hyvec-lint:` marker is parsed as a suppression
+//! annotation on the fly (see [`Allow`]). This is what makes the
+//! annotation syntax string-safe: a `hyvec-lint:` inside a string
+//! literal is just payload, never a suppression.
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any radix, any suffix).
+    Int,
+    /// Float literal (has a fractional part or an exponent).
+    Float,
+    /// String, raw-string, or byte-string literal (text not retained).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Punctuation: `::` as one token, otherwise one char per token.
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The token text (empty for [`TokKind::Str`] — rules never look
+    /// inside string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A parsed `// hyvec-lint: allow(<rule>, "<reason>")` annotation.
+///
+/// A trailing annotation (code precedes it on the same line) covers
+/// its own line; a standalone annotation line covers the next line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name being suppressed.
+    pub rule: String,
+    /// The line the suppression applies to.
+    pub covers_line: u32,
+    /// The mandatory human reason.
+    pub reason: String,
+}
+
+/// Everything the lexer extracts from one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals-internals stripped.
+    pub toks: Vec<Tok>,
+    /// Well-formed suppression annotations.
+    pub allows: Vec<Allow>,
+    /// `(line, problem)` pairs for comments that contain the
+    /// `hyvec-lint:` marker but do not parse as a valid annotation —
+    /// surfaced as `bad-allow` diagnostics so typos cannot silently
+    /// disable a rule.
+    pub bad_allows: Vec<(u32, String)>,
+}
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Line of the most recent emitted token (to classify trailing
+    /// vs. standalone comments).
+    last_tok_line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            last_tok_line: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_tok_line = line;
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                ':' if self.peek_at(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".to_string(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let had_code_before = self.last_tok_line == line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.harvest_annotation(&text, line, had_code_before);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let had_code_before = self.last_tok_line == line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.harvest_annotation(&text, line, had_code_before);
+    }
+
+    /// Parses `hyvec-lint: allow(<rule>, "<reason>")` out of a comment
+    /// body, recording either an [`Allow`] or a bad-annotation note.
+    ///
+    /// The marker must be the first thing in the comment (after the
+    /// comment sigils themselves): prose that merely *mentions* the
+    /// syntax — docs, examples — is never an annotation, while an
+    /// actual annotation line that is malformed is still caught.
+    fn harvest_annotation(&mut self, comment: &str, line: u32, had_code_before: bool) {
+        let body = comment.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(rest) = body.strip_prefix("hyvec-lint:") else {
+            return;
+        };
+        let covers_line = if had_code_before { line } else { line + 1 };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            self.out.bad_allows.push((
+                line,
+                "expected `hyvec-lint: allow(<rule>, \"<reason>\")`".to_string(),
+            ));
+            return;
+        };
+        let Some(close) = args.rfind(')') else {
+            self.out
+                .bad_allows
+                .push((line, "unclosed `allow(` annotation".to_string()));
+            return;
+        };
+        let args = &args[..close];
+        let Some((rule, reason)) = args.split_once(',') else {
+            self.out.bad_allows.push((
+                line,
+                "allow annotation needs a mandatory \"<reason>\" argument".to_string(),
+            ));
+            return;
+        };
+        let rule = rule.trim();
+        let reason = reason.trim();
+        let reason = reason
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .unwrap_or("");
+        if rule.is_empty() || reason.trim().is_empty() {
+            self.out.bad_allows.push((
+                line,
+                "allow annotation reason must be a non-empty quoted string".to_string(),
+            ));
+            return;
+        }
+        self.out.allows.push(Allow {
+            rule: rule.to_string(),
+            covers_line,
+            reason: reason.to_string(),
+        });
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, and raw
+    /// identifiers `r#ident`. Returns false when the leading `r`/`b`
+    /// is just the start of a plain identifier, leaving the cursor
+    /// untouched.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let c0 = match self.peek() {
+            Some(c) => c,
+            None => return false,
+        };
+        // Work out the shape by lookahead only.
+        let mut off = 1;
+        if c0 == 'b' {
+            match self.peek_at(1) {
+                Some('\'') => {
+                    // b'x' byte-char literal.
+                    self.bump();
+                    self.char_or_lifetime(line);
+                    return true;
+                }
+                Some('"') => {
+                    self.bump();
+                    self.string(line);
+                    return true;
+                }
+                Some('r') => off = 2,
+                _ => return false,
+            }
+        }
+        // Now expecting the raw part at `off`: zero or more '#' then '"'.
+        let mut hashes = 0usize;
+        while self.peek_at(off + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek_at(off + hashes) {
+            Some('"') => {}
+            // `r#ident` raw identifier (exactly one '#', then ident).
+            Some(c) if c0 == 'r' && hashes == 1 && (c == '_' || c.is_alphanumeric()) => {
+                self.bump(); // r
+                self.bump(); // #
+                self.ident(line);
+                return true;
+            }
+            _ => return false,
+        }
+        // Consume prefix, hashes, and the opening quote.
+        for _ in 0..(off + hashes + 1) {
+            self.bump();
+        }
+        // Scan to `"` followed by `hashes` '#'s.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek_at(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // At a `'`. Lifetime when followed by ident-start that is not
+        // itself closed by another `'` (i.e. `'a` vs `'a'`).
+        let next = self.peek_at(1);
+        let after = self.peek_at(2);
+        let is_lifetime = matches!(next, Some(c) if c == '_' || c.is_alphabetic())
+            && after != Some('\'')
+            && next != Some('\\');
+        self.bump(); // '
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume until the closing quote, honoring
+        // escapes.
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if radix_prefixed {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            // Fractional part: a '.' followed by a digit (so `0.hash()`
+            // and tuple indexing stay out).
+            if self.peek() == Some('.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit())
+            {
+                is_float = true;
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some('e' | 'E')) {
+                let sign_off = if matches!(self.peek_at(1), Some('+' | '-')) {
+                    2
+                } else {
+                    1
+                };
+                if matches!(self.peek_at(sign_off), Some(c) if c.is_ascii_digit()) {
+                    is_float = true;
+                    for _ in 0..sign_off {
+                        self.bump();
+                    }
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+            // Suffix (`u64`, `f32`, ...). An `f32`/`f64` suffix makes
+            // the literal a float.
+            let suffix_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let toks = kinds("let x = \"HashMap // hyvec-lint: nope\"; // HashMap\n/* HashMap */ y");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ z");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].1, "z");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r####"let s = r#"Instant "quoted" inside"#; r#fn"####);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "fn"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let toks = kinds("1 1_000 0xFF 1.5 1e9 2.0f32 7f64 3u32 0.count_ones()");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "1e9", "2.0f32", "7f64"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "1_000", "0xFF", "3u32", "0"]);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let toks = kinds("std::time::Instant");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[1].1, "::");
+        assert_eq!(toks[3].1, "::");
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line_standalone_covers_next() {
+        let lexed = lex(concat!(
+            "let a = 1; // hyvec-lint: allow(no-panic, \"trailing\")\n",
+            "// hyvec-lint: allow(determinism, \"standalone\")\n",
+            "let b = 2;\n",
+        ));
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "no-panic");
+        assert_eq!(lexed.allows[0].covers_line, 1);
+        assert_eq!(lexed.allows[1].rule, "determinism");
+        assert_eq!(lexed.allows[1].covers_line, 3);
+        assert!(lexed.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        let lexed = lex(concat!(
+            "// hyvec-lint: allow(no-panic)\n",
+            "// hyvec-lint: allow(no-panic, \"\")\n",
+            "// hyvec-lint: disable-everything\n",
+        ));
+        assert!(lexed.allows.is_empty());
+        assert_eq!(lexed.bad_allows.len(), 3);
+    }
+
+    #[test]
+    fn prose_mentioning_the_marker_is_not_an_annotation() {
+        let lexed = lex("// docs for the `hyvec-lint: allow(<rule>, \"<reason>\")` syntax\n");
+        assert!(lexed.allows.is_empty());
+        assert!(lexed.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn annotation_inside_string_is_payload() {
+        let lexed = lex("let s = \"hyvec-lint: allow(no-panic, \\\"x\\\")\";");
+        assert!(lexed.allows.is_empty());
+        assert!(lexed.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_constructs() {
+        let lexed = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+        let t = lexed
+            .toks
+            .iter()
+            .find(|t| t.text == "t")
+            .map(|t| t.line)
+            .unwrap_or(0);
+        assert_eq!(t, 4);
+    }
+}

@@ -1,0 +1,190 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+//! # hyvec-lint — workspace-native determinism & accounting lints
+//!
+//! The workspace's core contract is that reports are a pure function
+//! of (artifact, scenario, seed, config) and that counters are
+//! bit-identical across fast/slow paths, `--jobs` counts, and thread
+//! interleavings. The determinism test suite verifies that contract
+//! after the fact; this crate enforces it *by construction*, scanning
+//! every `.rs` file with a hand-rolled comment/string-aware lexer and
+//! a small rule engine (no external dependencies — the build is
+//! offline).
+//!
+//! Rules: [`diag::Rule::Determinism`], [`diag::Rule::SeededRng`],
+//! [`diag::Rule::NoPanic`], [`diag::Rule::CounterHygiene`],
+//! [`diag::Rule::NoUnsafe`], plus [`diag::Rule::BadAllow`] for
+//! malformed suppressions.
+//!
+//! Suppressions are per-line
+//! `// hyvec-lint: allow(<rule>, "<reason>")` annotations (trailing:
+//! covers its own line; standalone: covers the next line) with
+//! mandatory reasons, plus module-level allowlists in the workspace
+//! `lint.toml` (see [`config`]).
+
+pub mod config;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+use config::Config;
+use diag::{Diagnostic, Rule};
+
+/// Lints one file's source text. Pure: no filesystem access, so the
+/// fixture tests drive it directly.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let tests = context::test_spans(&lexed.toks);
+    let ctx = rules::FileCtx {
+        rel_path,
+        kind: context::classify(rel_path),
+        toks: &lexed.toks,
+        tests: &tests,
+        is_counter_file: cfg.is_counter_file(rel_path),
+    };
+    let mut raw = Vec::new();
+    rules::run_all(&ctx, &mut raw);
+
+    // Malformed annotations are findings themselves — a typo must not
+    // silently disable a rule. Unknown rule names likewise.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for (line, problem) in &lexed.bad_allows {
+        out.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: *line,
+            rule: Rule::BadAllow,
+            message: problem.clone(),
+        });
+    }
+    for allow in &lexed.allows {
+        if Rule::from_name(&allow.rule).is_none() {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: allow.covers_line,
+                rule: Rule::BadAllow,
+                message: format!("unknown rule `{}` in allow annotation", allow.rule),
+            });
+        }
+    }
+
+    // Apply suppressions: per-line annotations, then module allowlists.
+    for d in raw {
+        let annotated = lexed
+            .allows
+            .iter()
+            .any(|a| a.covers_line == d.line && a.rule == d.rule.name());
+        if annotated || cfg.is_allowed(rel_path, d.rule.name()) {
+            continue;
+        }
+        out.push(d);
+    }
+
+    // One diagnostic per (line, rule): a line with three banned idents
+    // is one finding, and one annotation covers it.
+    out.sort_by_key(|d| (d.line, d.rule));
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// Lints every `.rs` file under `root`, honoring `cfg`. Diagnostics
+/// come back sorted by (path, line, rule).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+    let files =
+        walk::rust_files(root, cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        out.extend(lint_source(&rel, &src, cfg));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Loads `<root>/lint.toml`, or the built-in defaults when absent.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => config::parse(&text).map_err(|e| format!("lint.toml: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn clean_source_yields_nothing() {
+        let diags = lint_source(
+            "crates/x/src/lib.rs",
+            "pub fn f(a: u64) -> u64 { a + 1 }\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn one_line_one_finding_per_rule() {
+        let diags = lint_source(
+            "crates/x/src/lib.rs",
+            "use std::collections::{HashMap, HashSet};\n",
+            &cfg(),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::Determinism);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn trailing_annotation_suppresses() {
+        let diags = lint_source(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap; // hyvec-lint: allow(determinism, \"doc example\")\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn annotation_for_the_wrong_rule_does_not_suppress() {
+        let diags = lint_source(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap; // hyvec-lint: allow(no-panic, \"wrong rule\")\n",
+            &cfg(),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn unknown_rule_in_annotation_is_a_finding() {
+        let diags = lint_source(
+            "crates/x/src/lib.rs",
+            "// hyvec-lint: allow(no-hashing, \"typo\")\npub fn f() {}\n",
+            &cfg(),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn module_allowlist_suppresses() {
+        let mut c = cfg();
+        c.allow.push((
+            "crates/x/src/sweep.rs".to_string(),
+            vec!["determinism".to_string()],
+        ));
+        let diags = lint_source("crates/x/src/sweep.rs", "use std::time::Instant;\n", &c);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

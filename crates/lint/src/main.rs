@@ -1,0 +1,77 @@
+//! The `hyvec-lint` binary: lints the workspace, prints
+//! `file:line: rule: message` diagnostics, exits nonzero on findings.
+//!
+//! ```text
+//! hyvec-lint [--root <dir>] [--fix-allow]
+//! ```
+//!
+//! `--root` defaults to the current directory (CI runs from the
+//! workspace root). `--fix-allow` additionally prints a ready-to-paste
+//! suppression annotation per finding — fill in the reason, paste it
+//! on (or above) the flagged line.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // hyvec-lint: allow(determinism, "CLI argument intake in the lint binary itself")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut fix_allow = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--fix-allow" => fix_allow = true,
+            "--help" | "-h" => {
+                println!("usage: hyvec-lint [--root <dir>] [--fix-allow]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let cfg = match hyvec_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("hyvec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match hyvec_lint::lint_workspace(&root, &cfg) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("hyvec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        println!("hyvec-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{}", d.render());
+    }
+    if fix_allow {
+        println!("\n# ready-to-paste suppressions (fill in each reason):");
+        for d in &diags {
+            println!("{}", d.fix_allow());
+        }
+    }
+    println!("\nhyvec-lint: {} diagnostic(s)", diags.len());
+    ExitCode::FAILURE
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("hyvec-lint: {problem}\nusage: hyvec-lint [--root <dir>] [--fix-allow]");
+    ExitCode::from(2)
+}

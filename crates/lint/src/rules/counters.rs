@@ -1,0 +1,72 @@
+//! `counter-hygiene` — event counters are exact u64s, end to end.
+//!
+//! The fast/slow-path equivalence proofs and the jobs-invariance
+//! determinism tests all compare counters bit-for-bit, so accounting
+//! modules must never lose bits on the way: a narrowing `as` cast can
+//! silently truncate a 100M-entry trace's counts, and float
+//! accumulation makes sums order-dependent — poison for "bit-identical
+//! across thread interleavings".
+//!
+//! Armed only for files listed under `counter-files` in `lint.toml`.
+//! Flags narrowing integer `as` casts and any float type/literal;
+//! derived read-only ratios (miss ratio, CPI) are fine but must carry
+//! an annotation saying so.
+
+use super::{ident_in, FileCtx};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+const FLOAT_TYPES: [&str; 2] = ["f32", "f64"];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_counter_file {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        if super::ident_is(toks, i, "as") && ident_in(toks, i + 1, &NARROW_TARGETS) {
+            ctx.diag(
+                out,
+                line,
+                Rule::CounterHygiene,
+                format!(
+                    "narrowing cast `as {}` in a counter-accounting module — \
+                     counters stay u64 end to end",
+                    toks[i + 1].text
+                ),
+            );
+        }
+        if ident_in(toks, i, &FLOAT_TYPES) {
+            ctx.diag(
+                out,
+                line,
+                Rule::CounterHygiene,
+                format!(
+                    "float type `{}` in a counter-accounting module — floats \
+                     are for derived read-only metrics, never accumulation; \
+                     annotate derived-ratio sites",
+                    toks[i].text
+                ),
+            );
+        } else if toks[i].kind == TokKind::Float {
+            ctx.diag(
+                out,
+                line,
+                Rule::CounterHygiene,
+                format!(
+                    "float literal `{}` in a counter-accounting module — \
+                     floats are for derived read-only metrics, never \
+                     accumulation; annotate derived-ratio sites",
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}

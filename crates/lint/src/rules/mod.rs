@@ -1,0 +1,86 @@
+//! The rule engine: each rule is a scan over one file's token stream.
+//!
+//! Rules receive a [`FileCtx`] (tokens + context classification) and
+//! push raw [`Diagnostic`]s; the engine in `lib.rs` applies
+//! suppressions (per-line annotations and `lint.toml` module
+//! allowlists) and dedups afterwards, so rules stay oblivious to the
+//! suppression machinery.
+
+pub mod counters;
+pub mod determinism;
+pub mod no_panic;
+pub mod no_unsafe;
+pub mod rng;
+
+use crate::context::{FileKind, TestSpans};
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// Everything a rule may look at for one file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: &'a str,
+    /// Lib / bin / test-like, from the path.
+    pub kind: FileKind,
+    /// The comment- and string-stripped token stream.
+    pub toks: &'a [Tok],
+    /// In-file `#[cfg(test)]` / `#[test]` line spans.
+    pub tests: &'a TestSpans,
+    /// Whether `lint.toml` marks this file as a counter-accounting
+    /// module (arms the `counter-hygiene` rule).
+    pub is_counter_file: bool,
+}
+
+impl FileCtx<'_> {
+    /// True when `line` is test code — either the whole file is
+    /// test-like, or the line sits inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.kind == FileKind::TestLike || self.tests.contains(line)
+    }
+
+    pub(crate) fn diag(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        line: u32,
+        rule: crate::diag::Rule,
+        message: String,
+    ) {
+        out.push(Diagnostic {
+            path: self.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    determinism::check(ctx, out);
+    rng::check(ctx, out);
+    no_panic::check(ctx, out);
+    counters::check(ctx, out);
+    no_unsafe::check(ctx, out);
+}
+
+/// True when token `i` is the identifier `text`.
+pub(crate) fn ident_is(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Ident && t.text == text)
+        .unwrap_or(false)
+}
+
+/// True when token `i` is an identifier contained in `set`.
+pub(crate) fn ident_in(toks: &[Tok], i: usize, set: &[&str]) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Ident && set.iter().any(|s| *s == t.text))
+        .unwrap_or(false)
+}
+
+/// True when token `i` is the punctuation `p`.
+pub(crate) fn punct_is(toks: &[Tok], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Punct && t.text == p)
+        .unwrap_or(false)
+}

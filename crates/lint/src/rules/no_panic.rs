@@ -1,0 +1,67 @@
+//! `no-panic` — library code returns `Result`, it does not abort.
+//!
+//! Flags, in library code only (bins, tests, benches, examples
+//! exempt): `unwrap()`/`expect()` (and their `_err` duals) plus the
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!`/`assert!` macro
+//! family. `debug_assert!` is exempt: it compiles out of release
+//! builds, so it documents invariants without an abort path in
+//! production.
+//!
+//! A site that is genuinely infallible stays, but must say why: give
+//! it a descriptive `expect("...")` message and a
+//! `// hyvec-lint: allow(no-panic, "<reason>")` annotation. The lint
+//! makes "this cannot fail" a recorded claim instead of an accident.
+
+use super::{ident_in, punct_is, FileCtx};
+use crate::context::FileKind;
+use crate::diag::{Diagnostic, Rule};
+
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        if ident_in(toks, i, &PANIC_METHODS) && punct_is(toks, i + 1, "(") {
+            ctx.diag(
+                out,
+                line,
+                Rule::NoPanic,
+                format!(
+                    "panicking call `{}()` in library code — propagate a \
+                     Result, or document infallibility and annotate",
+                    toks[i].text
+                ),
+            );
+        }
+        if ident_in(toks, i, &PANIC_MACROS) && punct_is(toks, i + 1, "!") {
+            ctx.diag(
+                out,
+                line,
+                Rule::NoPanic,
+                format!(
+                    "panicking macro `{}!` in library code — propagate a \
+                     Result, or document the invariant and annotate",
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `no-unsafe` — the workspace is 100% safe Rust, everywhere.
+//!
+//! The simulator gets its speed from layout and algorithms
+//! (struct-of-arrays storage, table-driven decode), never from
+//! `unsafe`. This rule backs the `#![forbid(unsafe_code)]` attribute
+//! on every crate root with a lint-time check that also covers tests,
+//! benches, examples, and code behind `cfg` gates the compiler might
+//! not currently build.
+
+use super::{ident_is, FileCtx};
+use crate::diag::{Diagnostic, Rule};
+
+/// Scans one file. No context exemptions: `unsafe` is banned in every
+/// kind of code.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if ident_is(ctx.toks, i, "unsafe") {
+            ctx.diag(
+                out,
+                tok.line,
+                Rule::NoUnsafe,
+                "`unsafe` is forbidden workspace-wide — speed comes from \
+                 layout and algorithms, not from unchecked memory access"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `seeded-rng` — every random stream must be derived, never ambient.
+//!
+//! Two sub-checks:
+//!
+//! * **Ambient entropy is banned everywhere**, tests included:
+//!   `thread_rng`, `from_entropy`, `OsRng` and friends produce a
+//!   different stream every run, so nothing downstream of them can be
+//!   reproduced (a test using them is flaky by construction).
+//! * **Hard-coded seeds are banned outside tests**: in lib/bin code a
+//!   literal `seed_from_u64(42)` is a smell — the seed must flow from
+//!   `hyvec_core::seed::derive_seed` (base seed + stable job label) so
+//!   sweeps stay invariant under worker count and scheduling. Tests
+//!   pin literal seeds on purpose, so they are exempt.
+
+use super::{ident_in, ident_is, punct_is, FileCtx};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+
+const ENTROPY: [&str; 7] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "from_rng",
+    "OsRng",
+    "getrandom",
+];
+
+const SEED_CTORS: [&str; 2] = ["seed_from_u64", "from_seed"];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if ident_in(toks, i, &ENTROPY) {
+            ctx.diag(
+                out,
+                line,
+                Rule::SeededRng,
+                format!(
+                    "ambient entropy source `{}` — every RNG must be seeded \
+                     via hyvec_core::seed derivation",
+                    toks[i].text
+                ),
+            );
+            continue;
+        }
+        // `rand::random` / `rand::random::<T>()`.
+        if ident_is(toks, i, "rand")
+            && punct_is(toks, i + 1, "::")
+            && ident_is(toks, i + 2, "random")
+        {
+            ctx.diag(
+                out,
+                line,
+                Rule::SeededRng,
+                "ambient entropy source `rand::random` — every RNG must be \
+                 seeded via hyvec_core::seed derivation"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Hard-coded literal seed in non-test code.
+        if !ctx.in_test(line)
+            && ident_in(toks, i, &SEED_CTORS)
+            && punct_is(toks, i + 1, "(")
+            && matches!(
+                toks.get(i + 2).map(|t| t.kind),
+                Some(TokKind::Int | TokKind::Float)
+            )
+            && punct_is(toks, i + 3, ")")
+        {
+            ctx.diag(
+                out,
+                line,
+                Rule::SeededRng,
+                format!(
+                    "hard-coded RNG seed `{}({})` — derive the seed with \
+                     hyvec_core::seed::derive_seed(base, label) instead",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic workspace file walker.
+//!
+//! Collects every `.rs` file under the workspace root, honoring the
+//! config's `skip` list plus hidden directories, and returns
+//! workspace-relative forward-slash paths in sorted order — so the
+//! diagnostic stream is byte-stable across filesystems and platforms
+//! (the lint holds itself to the determinism contract it enforces).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::config::Config;
+
+/// Collects the workspace-relative paths of all lintable `.rs` files.
+pub fn rust_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, cfg, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(rel) = relative(root, &path) else {
+            continue;
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if name.starts_with('.') || cfg.is_skipped(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative path with forward slashes, or `None` when
+/// `path` is not under `root` or is not valid UTF-8.
+pub fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s = rel.to_str()?;
+    Some(s.replace('\\', "/"))
+}

@@ -1,0 +1,12 @@
+//! Annotated fixture: every violation carries a reasoned allow, so
+//! the file lints clean in both annotation positions.
+
+use std::time::Instant; // hyvec-lint: allow(determinism, "fixture: trailing allow covers its own line")
+
+/// Wall-time capture with recorded reasons.
+pub fn timed() -> u64 {
+    // hyvec-lint: allow(determinism, "fixture: standalone allow covers the next line")
+    let t = Instant::now();
+    // hyvec-lint: allow(no-panic, "fixture: subsec_nanos is always below u64::MAX")
+    u64::try_from(t.elapsed().subsec_nanos()).unwrap()
+}

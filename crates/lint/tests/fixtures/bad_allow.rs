@@ -1,0 +1,7 @@
+//! Known-violation fixture: the `bad-allow` rule.
+
+// hyvec-lint: allow(determinism)
+pub fn missing_reason() {}
+
+// hyvec-lint: allow(no-hashing, "no such rule")
+pub fn unknown_rule() {}

@@ -1,0 +1,10 @@
+//! Known-clean fixture: deterministic, panic-free library code.
+
+use std::collections::BTreeMap;
+
+/// Ordered storage, derived seeds, propagated errors.
+pub fn tidy(seed: u64) -> Result<u64, String> {
+    let mut m = BTreeMap::new();
+    m.insert(seed, seed.wrapping_add(1));
+    m.get(&seed).copied().ok_or_else(|| "missing".to_string())
+}

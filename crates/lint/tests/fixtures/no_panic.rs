@@ -1,0 +1,11 @@
+//! Known-violation fixture: the `no-panic` rule.
+
+/// Panics in every branch.
+pub fn naughty(v: Option<u32>) -> u32 {
+    let x = v.unwrap();
+    assert!(x > 0, "positive");
+    if x > 10 {
+        panic!("too big");
+    }
+    x
+}

@@ -1,0 +1,9 @@
+//! Known-violation fixture: the `seeded-rng` rule.
+
+/// Draws from three different ambient streams.
+pub fn naughty_rng() -> u64 {
+    let a = rand::thread_rng().next();
+    let b: u64 = rand::random();
+    let mut r = Rng64::seed_from_u64(42);
+    a + b + r.next()
+}

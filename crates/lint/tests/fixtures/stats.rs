@@ -1,0 +1,8 @@
+//! Known-violation fixture: the `counter-hygiene` rule.
+
+/// Narrows and floats its way through counter arithmetic.
+pub fn naughty(total: u64, hits: u64) -> f64 {
+    let small = total as u32;
+    let ratio = hits as f64 / 2.5;
+    ratio + f64::from(small)
+}

@@ -1,0 +1,6 @@
+//! Known-violation fixture: the `no-unsafe` rule.
+
+/// An unsafe dereference, forbidden workspace-wide.
+pub fn naughty(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+//! The live workspace must lint clean: every suppression is a
+//! reasoned annotation or a `lint.toml` entry, so a fresh violation
+//! anywhere in the tree fails this test (and CI) immediately.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = hyvec_lint::load_config(&root).expect("lint.toml parses");
+    let diags = hyvec_lint::lint_workspace(&root, &cfg).expect("workspace walk succeeds");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

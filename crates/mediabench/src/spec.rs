@@ -88,6 +88,7 @@ fn layout(regions: Vec<(u64, Pattern, f64)>) -> Vec<Region> {
     let mut base = DATA_BASE;
     let mut out = Vec::with_capacity(regions.len());
     for (size, pattern, weight) in regions {
+        // hyvec-lint: allow(no-panic, "region tables are compile-time constants in this module; misalignment is a spec-table typo")
         assert!(size % 32 == 0, "region sizes must be line-aligned");
         out.push(Region {
             base,
@@ -99,6 +100,7 @@ fn layout(regions: Vec<(u64, Pattern, f64)>) -> Vec<Region> {
         base += size + 0x100;
     }
     let total: f64 = out.iter().map(|r| r.weight).sum();
+    // hyvec-lint: allow(no-panic, "region tables are compile-time constants in this module; a bad weight sum is a spec-table typo")
     assert!((total - 1.0).abs() < 1e-9, "region weights must sum to 1");
     out
 }

@@ -175,6 +175,7 @@ impl SizedCell {
     /// Panics if `sizing < 1.0` (below minimum drawn size) or is not
     /// finite.
     pub fn new(kind: CellKind, sizing: f64) -> Self {
+        // hyvec-lint: allow(no-panic, "documented precondition (# Panics): below minimum drawn size is a caller bug")
         assert!(
             sizing.is_finite() && sizing >= 1.0,
             "sizing factor must be >= 1.0, got {sizing}"

@@ -102,6 +102,7 @@ pub fn q(z: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn q_inv(p: f64) -> f64 {
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): Q^-1 is only defined on (0,1)")
     assert!(p > 0.0 && p < 1.0, "q_inv requires p in (0,1), got {p}");
     let (mut lo, mut hi) = (-40.0f64, 40.0f64);
     // q is strictly decreasing: q(lo) ~ 1, q(hi) ~ 0.

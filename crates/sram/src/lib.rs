@@ -31,6 +31,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod cell;

@@ -32,6 +32,7 @@
 /// assert!(word_ok_probability(1e-3, 39, 1) > p);
 /// ```
 pub fn word_ok_probability(pf: f64, total_bits: u32, tolerable: u32) -> f64 {
+    // hyvec-lint: allow(no-panic, "documented precondition: probabilities outside [0,1] are a caller bug")
     assert!((0.0..=1.0).contains(&pf), "pf must be in [0,1], got {pf}");
     let n = total_bits;
     let mut acc = 0.0f64;
@@ -60,10 +61,12 @@ pub fn cache_yield(p_data: f64, dw: u64, p_tag: f64, tw: u64) -> f64 {
 ///
 /// Panics if `target_yield` is not in `(0, 1)` or `bits == 0`.
 pub fn required_pf(target_yield: f64, bits: u64) -> f64 {
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): the closed form needs yield in (0,1)")
     assert!(
         target_yield > 0.0 && target_yield < 1.0,
         "yield must be in (0,1), got {target_yield}"
     );
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): a zero-bit array has no failure rate")
     assert!(bits > 0, "bits must be positive");
     1.0 - target_yield.powf(1.0 / bits as f64)
 }
@@ -86,10 +89,12 @@ pub fn required_pf_tolerant(
     bits_per_word: u32,
     tolerable: u32,
 ) -> f64 {
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): bisection needs yield in (0,1)")
     assert!(
         target_yield > 0.0 && target_yield < 1.0,
         "yield must be in (0,1), got {target_yield}"
     );
+    // hyvec-lint: allow(no-panic, "documented precondition (# Panics): an empty array has no yield curve")
     assert!(words > 0 && bits_per_word > 0, "geometry must be nonzero");
     let yield_at = |pf: f64| powi_u64(word_ok_probability(pf, bits_per_word, tolerable), words);
     let (mut lo, mut hi) = (0.0f64, 0.5f64);

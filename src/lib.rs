@@ -17,6 +17,7 @@
 //!   and Criterion micro-benchmarks
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub use hyvec_bench as bench;

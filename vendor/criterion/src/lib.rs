@@ -10,6 +10,7 @@
 //! closure runs exactly once so benches double as smoke tests.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
@@ -26,6 +27,7 @@ pub enum Throughput {
 }
 
 /// The measurement driver handed to every benchmark closure.
+#[derive(Debug)]
 pub struct Bencher<'a> {
     mode: Mode,
     /// Measured mean nanoseconds per iteration, written by `iter`.
@@ -141,6 +143,7 @@ impl Criterion {
 
 /// A group of related benchmarks sharing a name prefix and optional
 /// throughput definition.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,

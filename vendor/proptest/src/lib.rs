@@ -9,6 +9,7 @@
 //! identify it exactly).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
@@ -184,6 +185,12 @@ tuple_strategy!(
 /// [`prop_compose!`] and combinators).
 pub struct FnStrategy<F>(pub F);
 
+impl<F> std::fmt::Debug for FnStrategy<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnStrategy(..)")
+    }
+}
+
 impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
@@ -298,6 +305,7 @@ pub mod prop {
         }
 
         /// Strategy for `Vec<T>` with lengths in `size`.
+        #[derive(Debug)]
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
@@ -321,6 +329,7 @@ pub mod prop {
 
         /// Strategy for `HashSet<T>` with sizes in `size` (best effort
         /// when the element domain is small).
+        #[derive(Debug)]
         pub struct HashSetStrategy<S> {
             element: S,
             size: SizeRange,

@@ -7,6 +7,7 @@
 //! streams are deterministic per seed and of high statistical quality.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
