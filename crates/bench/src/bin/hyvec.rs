@@ -21,6 +21,10 @@
 //!   ablations     way split, memory latency, voltage, L2, cores,
 //!                 granularity
 //!   all           alias of run-all
+//!   serve         long-running HTTP daemon serving any experiment on
+//!                 demand from a content-addressed result cache
+//!                 (own flags: --addr, --threads, --warm, --cache-mb;
+//!                 see the README "Serving" section)
 //! ```
 //!
 //! Every command is a filtered view of the same registry-driven sweep,
@@ -36,7 +40,7 @@ use std::process::ExitCode;
 
 use hyvec_bench::cli::{parse_flags, sweep_for, CliOptions, FLAGS_USAGE};
 use hyvec_core::registry::Registry;
-use hyvec_core::render::render;
+use hyvec_core::render::{csv_field as escape_csv, render, Format};
 
 /// Artifact families of each named command; `None` = the full matrix.
 fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
@@ -63,19 +67,78 @@ fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
 
 fn usage() -> String {
     format!(
-        "usage: hyvec <run-all|list|fig3|fig4|methodology|performance|area|reliability\
-         |soft-errors|ablations|all> {FLAGS_USAGE} [--bench-out PATH]"
+        "usage: hyvec <run-all|list|serve|fig3|fig4|methodology|performance|area|reliability\
+         |soft-errors|ablations|all> {FLAGS_USAGE} [--bench-out PATH]\n\
+         \x20      hyvec serve {}",
+        hyvec_serve::SERVE_USAGE
     )
 }
 
 /// `hyvec list`: the registered experiment ids, optionally filtered.
+/// `--format json` emits the machine-readable registry index — the
+/// byte-identical document the serve daemon answers on
+/// `GET /experiments`; `--format csv` the same index as one row per
+/// experiment.
 fn list(options: &CliOptions) -> ExitCode {
-    let builder = sweep_for(options, &[]);
-    for id in Registry::standard().ids() {
-        if builder.selects(id) {
-            println!("{id}");
+    let registry = Registry::standard();
+    match options.format {
+        Format::Text => {
+            let builder = sweep_for(options, &[]);
+            for id in registry.ids() {
+                if builder.selects(id) {
+                    println!("{id}");
+                }
+            }
+        }
+        Format::Json => print!("{}", registry.index_json()),
+        Format::Csv => {
+            println!("id,artifact,scenario,description");
+            for e in registry.iter() {
+                let id = e.id();
+                let (artifact, scenario) = id.split_once('/').unwrap_or((id, ""));
+                println!(
+                    "{},{},{},{}",
+                    escape_csv(id),
+                    escape_csv(artifact),
+                    escape_csv(scenario),
+                    escape_csv(e.description())
+                );
+            }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `hyvec serve`: bind, optionally warm, then serve until shutdown.
+fn serve(args: impl Iterator<Item = String>) -> ExitCode {
+    let config = match hyvec_serve::ServeConfig::from_args(args) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("{e}\nusage: hyvec serve {}", hyvec_serve::SERVE_USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm = config.warm;
+    let warm_params = config.warm_params;
+    let server = match hyvec_serve::SweepServer::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The resolved address goes to stdout first (and flushed by the
+    // newline) so scripts can bind port 0 and scrape the real port
+    // before the (possibly long) warm pass runs.
+    println!("hyvec serve listening on {}", server.local_addr());
+    if warm {
+        eprintln!(
+            "warming cache: full registry matrix at {} instructions, seed {}",
+            warm_params.instructions, warm_params.seed
+        );
+    }
+    server.run();
+    eprintln!("hyvec serve: shut down cleanly");
     ExitCode::SUCCESS
 }
 
@@ -89,6 +152,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if command == "serve" {
+        return serve(args);
+    }
     let options = match parse_flags(args) {
         Ok(options) => options,
         Err(e) => {

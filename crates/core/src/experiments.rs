@@ -53,6 +53,28 @@ impl ExperimentParams {
     pub fn with_seed(self, seed: u64) -> ExperimentParams {
         ExperimentParams { seed, ..self }
     }
+
+    /// The canonical field encoding hashed by
+    /// [`ExperimentParams::fingerprint`]: `name=value` pairs joined
+    /// with `;`, fields in fixed lexical order. Keying on field
+    /// *names* (not positions) keeps the fingerprint stable across
+    /// struct-field reorderings, and any future field must be
+    /// appended here under its own name (changing the encoding of
+    /// existing fields would silently invalidate every
+    /// content-addressed cache entry keyed on it).
+    pub fn canonical_encoding(&self) -> String {
+        format!("instructions={};seed={}", self.instructions, self.seed)
+    }
+
+    /// A stable 64-bit fingerprint of the parameters: FNV-1a over
+    /// [`ExperimentParams::canonical_encoding`]. This is the
+    /// parameter half of the `hyvec serve` content-addressed cache
+    /// key (combined there with the experiment id and a config
+    /// revision); it must never depend on process, run, or
+    /// field-declaration order.
+    pub fn fingerprint(&self) -> u64 {
+        crate::seed::fnv1a(&self.canonical_encoding())
+    }
 }
 
 /// Runs `benchmarks` on `arch` at `mode`, returning the summed energy
@@ -978,6 +1000,15 @@ pub trait Experiment: Send + Sync {
     /// an experiment is the only way to change its RNG stream.
     fn id(&self) -> &str;
 
+    /// One-line human description of what the experiment regenerates,
+    /// surfaced by the machine-readable registry index
+    /// ([`crate::registry::Registry::index_json`], i.e. `hyvec list
+    /// --format json` and the serve daemon's `GET /experiments`).
+    /// Purely informational: never hashed, never part of the report.
+    fn description(&self) -> &str {
+        ""
+    }
+
     /// Runs the experiment with `rng_seed` as its private trace/RNG
     /// seed (`params.seed` is the sweep's *base* seed and is recorded
     /// in the returned report, not consumed). Returns a report with
@@ -1340,7 +1371,7 @@ fn granularity_table(rows: &[GranularityRow]) -> Table {
 
 /// Declares a scenario-parameterized experiment wrapper struct.
 macro_rules! scenario_experiment {
-    ($(#[$meta:meta])* $name:ident, $artifact:literal, |$self_:ident, $p:ident| $body:expr) => {
+    ($(#[$meta:meta])* $name:ident, $artifact:literal, $desc:literal, |$self_:ident, $p:ident| $body:expr) => {
         $(#[$meta])*
         #[derive(Debug)]
         pub struct $name {
@@ -1368,6 +1399,10 @@ macro_rules! scenario_experiment {
                 &self.id
             }
 
+            fn description(&self) -> &str {
+                $desc
+            }
+
             fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
                 let $self_ = self;
                 let $p = params.with_seed(rng_seed);
@@ -1381,6 +1416,7 @@ scenario_experiment!(
     /// Sec. III-C sizing/yield methodology as an [`Experiment`].
     MethodologyExperiment,
     "methodology",
+    "Sec. III-C sizing/yield methodology table (iterative ULE-way design loop)",
     |e, _p| {
         let d = design_ule_way(
             e.scenario,
@@ -1397,6 +1433,7 @@ scenario_experiment!(
     /// Figure 3 (HP-mode EPI) as an [`Experiment`].
     Fig3Experiment,
     "fig3",
+    "Figure 3: HP-mode EPI breakdowns, baseline vs proposal (BigBench)",
     |e, p| fig3_hp_epi(e.scenario, p).tables()
 );
 
@@ -1404,6 +1441,7 @@ scenario_experiment!(
     /// Figure 4 (ULE-mode EPI breakdowns) as an [`Experiment`].
     Fig4Experiment,
     "fig4",
+    "Figure 4: ULE-mode EPI breakdowns, baseline vs proposal (SmallBench)",
     |e, p| fig4_ule_epi(e.scenario, p).tables()
 );
 
@@ -1411,6 +1449,7 @@ scenario_experiment!(
     /// Sec. IV-B.2 execution-time overhead as an [`Experiment`].
     PerformanceExperiment,
     "performance",
+    "Sec. IV-B.2 ULE execution-time overhead vs the baseline",
     |e, p| performance_tables(&ule_performance(e.scenario, p))
 );
 
@@ -1418,6 +1457,7 @@ scenario_experiment!(
     /// The L1 area comparison as an [`Experiment`].
     AreaExperiment,
     "area",
+    "L1 area comparison across cell mixes and EDC check bits",
     |e, _p| area_comparison(e.scenario).tables()
 );
 
@@ -1425,6 +1465,7 @@ scenario_experiment!(
     /// Yields + fault injection as an [`Experiment`].
     ReliabilityExperiment,
     "reliability",
+    "Way yields plus seeded fault-injection outcomes over simulated dies",
     |e, p| reliability(e.scenario, RELIABILITY_DIES, p).tables()
 );
 
@@ -1432,6 +1473,7 @@ scenario_experiment!(
     /// The 7+1 vs 6+2 way-split ablation as an [`Experiment`].
     AblationWaysExperiment,
     "ablation-ways",
+    "Ablation: 7+1 vs 6+2 way split between cell types",
     |e, p| vec![ways_table(&ablation_ways(e.scenario, p))]
 );
 
@@ -1439,6 +1481,7 @@ scenario_experiment!(
     /// The memory-latency ablation as an [`Experiment`].
     AblationMemoryLatencyExperiment,
     "ablation-memlat",
+    "Ablation: main-memory latency sensitivity of the EPI saving",
     |e, p| vec![memlat_table(&ablation_memory_latency(e.scenario, p))]
 );
 
@@ -1446,6 +1489,7 @@ scenario_experiment!(
     /// The ULE-voltage ablation as an [`Experiment`].
     AblationVoltageExperiment,
     "ablation-voltage",
+    "Ablation: ULE supply-voltage sweep of energy and reliability",
     |e, p| vec![voltage_table(&ablation_voltage(e.scenario, p))]
 );
 
@@ -1454,6 +1498,7 @@ scenario_experiment!(
     /// composable memory hierarchy) as an [`Experiment`].
     AblationL2Experiment,
     "ablation-l2",
+    "Ablation: none/16/64/256KB L2 sizes behind the hybrid L1 (EPI, stalls, traffic)",
     |e, p| l2_tables(&ablation_l2(e.scenario, p))
 );
 
@@ -1463,6 +1508,7 @@ scenario_experiment!(
     /// memory traffic) as an [`Experiment`].
     AblationCoresExperiment,
     "ablation-cores",
+    "Ablation: 1/2/4/8 cores sharing one L2 (EPI, per-core IPC, contention traffic)",
     |e, p| cores_tables(&ablation_cores(e.scenario, p))
 );
 
@@ -1474,6 +1520,10 @@ pub struct SoftErrorExperiment;
 impl Experiment for SoftErrorExperiment {
     fn id(&self) -> &str {
         "soft-errors/B"
+    }
+
+    fn description(&self) -> &str {
+        "Hard faults plus accelerated soft errors: DECTED vs SECDED (scenario B)"
     }
 
     fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
@@ -1490,6 +1540,10 @@ pub struct AblationGranularityExperiment;
 impl Experiment for AblationGranularityExperiment {
     fn id(&self) -> &str {
         "ablation-granularity/A"
+    }
+
+    fn description(&self) -> &str {
+        "Ablation: EDC protection granularity (word width vs storage overhead)"
     }
 
     fn run(&self, params: ExperimentParams, rng_seed: u64) -> Report {
@@ -1511,6 +1565,39 @@ mod tests {
             instructions: 20_000,
             seed: 7,
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_name_keyed() {
+        // The canonical encoding is `name=value` in fixed lexical
+        // order, so the fingerprint survives struct-field reorderings
+        // (field *names*, not positions, are what is hashed).
+        let p = ExperimentParams {
+            seed: 1,
+            instructions: 100_000,
+        };
+        assert_eq!(p.canonical_encoding(), "instructions=100000;seed=1");
+        assert_eq!(
+            p.fingerprint(),
+            crate::seed::fnv1a("instructions=100000;seed=1")
+        );
+        // Pinned across runs and releases: changing the encoding
+        // silently invalidates every content-addressed cache entry
+        // keyed on it, so a change must be a deliberate act that
+        // fails this test.
+        assert_eq!(ExperimentParams::default().fingerprint(), p.fingerprint());
+        assert_eq!(p.fingerprint(), 0x5A7E_E7A9_E60F_4C48);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        let p = ExperimentParams::default();
+        assert_ne!(p.fingerprint(), p.with_seed(2).fingerprint());
+        let more = ExperimentParams {
+            instructions: p.instructions + 1,
+            ..p
+        };
+        assert_ne!(p.fingerprint(), more.fingerprint());
     }
 
     #[test]

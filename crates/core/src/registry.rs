@@ -127,6 +127,41 @@ impl Registry {
     pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
         self.experiments.iter().map(|e| e.as_ref())
     }
+
+    /// Serializes the registry as the machine-readable index: id,
+    /// artifact family, scenario, and one-line description per
+    /// experiment, in registration (= report) order.
+    ///
+    /// `hyvec list --format json` prints this string and the serve
+    /// daemon's `GET /experiments` serves it, byte-identical —
+    /// clients may treat the two as the same document. Hand-rolled
+    /// JSON, same offline discipline as [`crate::render`].
+    pub fn index_json(&self) -> String {
+        use crate::render::escape_json;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"hyvec-registry/v1\",\n");
+        out.push_str("  \"experiments\": [");
+        for (i, e) in self.iter().enumerate() {
+            let id = e.id();
+            let (artifact, scenario) = id.split_once('/').unwrap_or((id, ""));
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"artifact\": \"{}\", \"scenario\": \"{}\", \"description\": \"{}\"}}",
+                escape_json(id),
+                escape_json(artifact),
+                escape_json(scenario),
+                escape_json(e.description())
+            ));
+        }
+        if self.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +195,37 @@ mod tests {
         assert!(r.get("soft-errors/B").is_some());
         assert!(r.get("ablation-granularity/A").is_some());
         assert!(r.get("fig5/A").is_none());
+    }
+
+    #[test]
+    fn index_json_lists_every_experiment_with_a_description() {
+        let r = Registry::standard();
+        let json = r.index_json();
+        assert!(json.contains("\"schema\": \"hyvec-registry/v1\""));
+        for e in r.iter() {
+            assert!(
+                json.contains(&format!("\"id\": \"{}\"", e.id())),
+                "index is missing {}",
+                e.id()
+            );
+            assert!(
+                !e.description().is_empty(),
+                "{} has no description for the index",
+                e.id()
+            );
+        }
+        // Split fields accompany the full id.
+        assert!(json.contains(
+            "\"id\": \"fig3/A\", \"artifact\": \"fig3\", \"scenario\": \"A\", \"description\": \"Figure 3"
+        ));
+        // Exactly one array entry per experiment.
+        assert_eq!(json.matches("\"id\": ").count(), r.len());
+    }
+
+    #[test]
+    fn index_json_of_an_empty_registry_is_well_formed() {
+        let json = Registry::new().index_json();
+        assert!(json.contains("\"experiments\": []"));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use std::path::Path;
 
+use hyvec_lint::diag::Rule;
+
 #[test]
 fn workspace_lints_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -14,5 +16,31 @@ fn workspace_lints_clean() {
         rendered.is_empty(),
         "workspace is not lint-clean:\n{}",
         rendered.join("\n")
+    );
+}
+
+/// The serve daemon's wall-clock exemption is scoped to its socket
+/// module and nothing else: the same un-annotated `Instant` read that
+/// the live `lint.toml` permits in `server.rs` must still trip the
+/// `determinism` rule anywhere else in the crate (the cache orders
+/// its LRU by a logical tick precisely so it never needs the clock).
+#[test]
+fn serve_clock_allow_is_scoped_to_the_socket_module() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = hyvec_lint::load_config(&root).expect("lint.toml parses");
+    let src = "pub fn tick() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+
+    let in_cache = hyvec_lint::lint_source("crates/serve/src/cache.rs", src, &cfg);
+    assert!(
+        in_cache.iter().any(|d| d.rule == Rule::Determinism),
+        "an un-annotated Instant in the serve cache must trip determinism, got: {:?}",
+        in_cache
+    );
+
+    let in_server = hyvec_lint::lint_source("crates/serve/src/server.rs", src, &cfg);
+    assert!(
+        in_server.is_empty(),
+        "lint.toml scopes the clock allow to server.rs, got: {:?}",
+        in_server
     );
 }

@@ -1,0 +1,85 @@
+//! `serve-probe` — a minimal `std::net::TcpStream` HTTP client for
+//! smoking the daemon from CI and scripts.
+//!
+//! ```text
+//! serve-probe [--method METHOD] [--expect STATUS] ADDR PATH
+//! ```
+//!
+//! Sends one `Connection: close` HTTP/1.1 request to `ADDR`
+//! (`host:port`), writes the response **body** to stdout, and exits
+//! nonzero unless the status matches `--expect` (default 200). The
+//! body passes through untouched, so CI can `cmp` it against CLI
+//! renderer output byte for byte.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut method = "GET".to_string();
+    let mut expect: u16 = 200;
+    let mut positional: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--method" => {
+                method = iter.next().ok_or("--method needs a value")?;
+            }
+            "--expect" => {
+                expect = iter
+                    .next()
+                    .ok_or("--expect needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --expect: {e}"))?;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [addr, path] = positional.as_slice() else {
+        return Err("usage: serve-probe [--method METHOD] [--expect STATUS] ADDR PATH".to_string());
+    };
+
+    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(60)));
+    conn.write_all(
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("send: {e}"))?;
+
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {:?}", head.lines().next().unwrap_or("")))?;
+    let body = &raw[header_end + 4..];
+    std::io::stdout()
+        .write_all(body)
+        .map_err(|e| format!("stdout: {e}"))?;
+    if status != expect {
+        return Err(format!(
+            "{method} {path}: status {status}, expected {expect}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // hyvec-lint: allow(determinism, "CLI argument intake for the probe binary; the probe only relays bytes")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve-probe: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! The content-addressed result cache behind the serve router.
+//!
+//! Every report is a pure function of (experiment id — which embeds
+//! artifact and scenario —, seed, instruction budget, config), so a
+//! rendered report is infinitely cacheable under a stable fingerprint
+//! of those inputs ([`report_fingerprint`], built on
+//! [`ExperimentParams::fingerprint`]). The cache stores one
+//! [`RenderSet`] — the text, JSON, and CSV renderings produced from a
+//! single compute — per fingerprint, so any format of an already
+//! computed report is a pure byte copy.
+//!
+//! Two service properties live here rather than in the router:
+//!
+//! * **Single-flight**: concurrent requests for the same fingerprint
+//!   compute once. The first requester marks the key in flight and
+//!   computes outside the lock; the rest block on a condvar and are
+//!   handed the finished value (counted as `coalesced`, not `hits`).
+//! * **Byte-bounded LRU**: total cached bytes never exceed the
+//!   configured budget. Recency is a logical tick (bumped per lookup),
+//!   not wall time — the cache stays deterministic and lint-clean
+//!   (`hyvec-lint` bans `Instant` outside allowlisted modules).
+//!
+//! Poisoned locks are recovered (`PoisonError::into_inner`): a worker
+//! that panicked mid-insert leaves counters intact and the in-flight
+//! guard unwinds its marker, so other requests simply recompute.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use hyvec_core::experiments::ExperimentParams;
+use hyvec_core::render::Format;
+use hyvec_core::seed::fnv1a;
+
+/// The config-revision component of every cache key. The serve
+/// pipeline has no request-varying configuration beyond the
+/// parameters themselves today; this constant is the slot where a
+/// real config hash goes the day it does. Bumping it invalidates
+/// every content-addressed entry at once.
+pub const CONFIG_REVISION: &str = "standard-registry/v1";
+
+/// The stable cache key of one report: FNV-1a over the canonical
+/// encoding of (experiment id, [`ExperimentParams`], config
+/// revision). The experiment id (`"artifact/scenario"`) carries both
+/// the artifact and the scenario; the params fingerprint input uses
+/// the same name-keyed canonical encoding that
+/// [`ExperimentParams::fingerprint`] pins, so struct refactors cannot
+/// silently re-key the cache.
+pub fn report_fingerprint(experiment_id: &str, params: ExperimentParams) -> u64 {
+    fnv1a(&format!(
+        "experiment={};{};config={}",
+        experiment_id,
+        params.canonical_encoding(),
+        CONFIG_REVISION
+    ))
+}
+
+/// The three renderings of one computed report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderSet {
+    text: String,
+    json: String,
+    csv: String,
+}
+
+impl RenderSet {
+    /// Bundles the renderings of one report.
+    pub fn new(text: String, json: String, csv: String) -> RenderSet {
+        RenderSet { text, json, csv }
+    }
+
+    /// The body bytes for `format`.
+    pub fn body(&self, format: Format) -> &[u8] {
+        match format {
+            Format::Text => self.text.as_bytes(),
+            Format::Json => self.json.as_bytes(),
+            Format::Csv => self.csv.as_bytes(),
+        }
+    }
+
+    /// Total bytes across the three renderings (what the LRU budget
+    /// accounts).
+    pub fn size_bytes(&self) -> usize {
+        self.text.len() + self.json.len() + self.csv.len()
+    }
+}
+
+/// A point-in-time snapshot of the cache counters, surfaced by the
+/// daemon's `GET /stats`. Every lookup lands in exactly one of
+/// `hits`, `misses`, or `coalesced`, so the three sum to the lookup
+/// count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from a cached entry without waiting.
+    pub hits: u64,
+    /// Lookups that led a compute (single-flight leaders).
+    pub misses: u64,
+    /// Lookups that waited on another request's in-flight compute
+    /// instead of starting their own.
+    pub coalesced: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Computed values too large to cache at all.
+    pub oversize: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Bytes currently cached.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<RenderSet>,
+    size: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: BTreeMap<u64, Entry>,
+    in_flight: BTreeSet<u64>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+    oversize: u64,
+}
+
+/// The byte-bounded, single-flight, content-addressed result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    max_bytes: usize,
+}
+
+/// Removes the in-flight marker if the computing thread unwinds, so
+/// coalesced waiters wake up and one of them recomputes instead of
+/// blocking forever.
+struct InFlightGuard<'a> {
+    cache: &'a ResultCache,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.lock();
+            inner.in_flight.remove(&self.key);
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl ResultCache {
+    /// A cache bounded to `max_bytes` of rendered output.
+    pub fn new(max_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            max_bytes,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the cached value for `key`, computing it with
+    /// `compute` on a miss. Concurrent callers with the same key
+    /// compute once: the leader runs `compute` outside the lock, the
+    /// rest block until the value lands (or the leader unwinds, in
+    /// which case one of them takes over).
+    pub fn get_or_compute<F>(&self, key: u64, compute: F) -> Arc<RenderSet>
+    where
+        F: FnOnce() -> RenderSet,
+    {
+        let mut counted_wait = false;
+        let mut inner = self.lock();
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                // A waiter that coalesced and then found the value is
+                // already counted; each lookup lands in exactly one
+                // of hits / misses / coalesced.
+                if !counted_wait {
+                    inner.hits += 1;
+                }
+                return value;
+            }
+            if inner.in_flight.contains(&key) {
+                if !counted_wait {
+                    inner.coalesced += 1;
+                    counted_wait = true;
+                }
+                inner = self
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            inner.in_flight.insert(key);
+            inner.misses += 1;
+            break;
+        }
+        drop(inner);
+
+        let mut guard = InFlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let value = Arc::new(compute());
+        self.insert_computed(key, value.clone());
+        guard.armed = false;
+        value
+    }
+
+    /// Installs a computed value, clears the in-flight marker, evicts
+    /// to budget, and wakes waiters.
+    fn insert_computed(&self, key: u64, value: Arc<RenderSet>) {
+        let size = value.size_bytes();
+        let mut inner = self.lock();
+        inner.in_flight.remove(&key);
+        if size > self.max_bytes {
+            // Never cacheable: serve it to the caller (and to current
+            // waiters, who recheck, miss, and recompute — correctness
+            // over elegance for a pathological budget).
+            inner.oversize += 1;
+        } else {
+            inner.tick += 1;
+            let tick = inner.tick;
+            let previous = inner.entries.insert(
+                key,
+                Entry {
+                    value,
+                    size,
+                    last_used: tick,
+                },
+            );
+            inner.bytes += size;
+            if let Some(previous) = previous {
+                inner.bytes -= previous.size;
+            }
+            // Evict least-recently-used entries (never the one just
+            // inserted) until the budget holds again.
+            while inner.bytes > self.max_bytes {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k);
+                match victim.and_then(|k| inner.entries.remove(&k)) {
+                    Some(evicted) => {
+                        inner.bytes -= evicted.size;
+                        inner.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn counters(&self) -> CacheCounters {
+        let inner = self.lock();
+        CacheCounters {
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+            evictions: inner.evictions,
+            oversize: inner.oversize,
+            entries: u64::try_from(inner.entries.len()).unwrap_or(u64::MAX),
+            bytes: u64::try_from(inner.bytes).unwrap_or(u64::MAX),
+            capacity_bytes: u64::try_from(self.max_bytes).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+
+    fn set(tag: &str, bytes: usize) -> RenderSet {
+        // One rendering carries the payload; sizes stay predictable.
+        RenderSet::new(
+            tag.repeat(bytes / tag.len().max(1)),
+            String::new(),
+            String::new(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_keyed_on_every_input() {
+        let params = ExperimentParams::default();
+        let a = report_fingerprint("fig3/A", params);
+        assert_eq!(a, report_fingerprint("fig3/A", params));
+        assert_ne!(a, report_fingerprint("fig3/B", params));
+        assert_ne!(a, report_fingerprint("fig3/A", params.with_seed(2)));
+        assert_ne!(
+            a,
+            report_fingerprint(
+                "fig3/A",
+                ExperimentParams {
+                    instructions: 1,
+                    ..params
+                }
+            )
+        );
+        // Pinned: the key must survive releases, or every warm cache
+        // silently empties.
+        assert_eq!(
+            a,
+            fnv1a("experiment=fig3/A;instructions=100000;seed=1;config=standard-registry/v1")
+        );
+    }
+
+    #[test]
+    fn hit_after_miss_without_recompute() {
+        let cache = ResultCache::new(1 << 20);
+        let computes = AtomicU64::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_compute(7, || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                set("x", 10)
+            });
+            assert_eq!(v.body(Format::Text).len(), 10);
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        let c = cache.counters();
+        assert_eq!((c.misses, c.hits, c.entries), (1, 2, 1));
+        assert_eq!(c.bytes, 10);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let cache = ResultCache::new(25);
+        cache.get_or_compute(1, || set("a", 10));
+        cache.get_or_compute(2, || set("b", 10));
+        // Touch 1 so 2 is the least recently used.
+        cache.get_or_compute(1, || unreachable!("1 is cached"));
+        cache.get_or_compute(3, || set("c", 10));
+        let c = cache.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.entries, 2);
+        assert!(c.bytes <= 25);
+        // 2 was evicted; 1 and 3 still hit.
+        let recomputed = AtomicU64::new(0);
+        cache.get_or_compute(1, || unreachable!("1 survived"));
+        cache.get_or_compute(3, || unreachable!("3 survived"));
+        cache.get_or_compute(2, || {
+            recomputed.fetch_add(1, Ordering::Relaxed);
+            set("b", 10)
+        });
+        assert_eq!(recomputed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn oversize_values_are_served_but_not_cached() {
+        let cache = ResultCache::new(8);
+        let computes = AtomicU64::new(0);
+        for _ in 0..2 {
+            let v = cache.get_or_compute(9, || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                set("y", 100)
+            });
+            assert_eq!(v.size_bytes(), 100);
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 2, "oversize recomputes");
+        let c = cache.counters();
+        assert_eq!((c.entries, c.bytes, c.oversize), (0, 0, 2));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        let cache = ResultCache::new(1 << 20);
+        let computes = AtomicU64::new(0);
+        let barrier = Barrier::new(8);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let v = cache.get_or_compute(42, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window so waiters coalesce.
+                        thread::sleep(std::time::Duration::from_millis(30));
+                        set("z", 12)
+                    });
+                    assert_eq!(v.body(Format::Text).len(), 12);
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "single-flight");
+        let c = cache.counters();
+        assert_eq!(c.misses, 1);
+        // Counters are mutually exclusive: each of the other seven
+        // lookups is a hit or a coalesced wait, never both.
+        assert_eq!(c.hits + c.coalesced, 7);
+    }
+
+    #[test]
+    fn a_panicking_leader_does_not_wedge_waiters() {
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let barrier = Arc::new(Barrier::new(2));
+        let (c2, b2) = (cache.clone(), barrier.clone());
+        let leader = thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(5, || {
+                    b2.wait();
+                    thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("compute failed")
+                })
+            }));
+            assert!(result.is_err());
+        });
+        barrier.wait();
+        // This request arrives while the leader is in flight; after
+        // the leader unwinds it must take over and compute.
+        let v = cache.get_or_compute(5, || set("ok", 6));
+        assert_eq!(v.body(Format::Text).len(), 6);
+        leader.join().unwrap();
+        assert_eq!(cache.counters().entries, 1);
+    }
+}

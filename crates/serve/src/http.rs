@@ -1,0 +1,485 @@
+//! Minimal hand-rolled HTTP/1.1 message layer.
+//!
+//! The build environment is offline, so the serve daemon speaks HTTP
+//! the same way the render layer speaks JSON: over `std` alone, with
+//! exactly the surface the service needs. This module owns the wire
+//! format — request-line and header parsing with hard size limits,
+//! percent-decoding, keep-alive semantics, and response serialization
+//! with correct `Content-Type`/`Content-Length` framing. Routing and
+//! socket handling live in [`crate::server`].
+//!
+//! Limits are deliberate and small: a request line over
+//! [`MAX_REQUEST_LINE_BYTES`], more than [`MAX_HEADER_COUNT`]
+//! headers, a header over [`MAX_HEADER_LINE_BYTES`], or a body over
+//! [`MAX_BODY_BYTES`] is a [`RequestError::Malformed`] (a 400, and
+//! the connection closes — framing is not trustworthy after a parse
+//! error).
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+/// Longest accepted header line, bytes.
+pub const MAX_HEADER_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADER_COUNT: usize = 64;
+/// Largest accepted (and discarded) request body, bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, decoded path, decoded query pairs in
+/// wire order, lower-cased headers, and the keep-alive decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, as sent (e.g. `GET`).
+    pub method: String,
+    /// The percent-decoded path component of the target.
+    pub path: String,
+    /// Percent-decoded `key=value` query pairs, in wire order.
+    pub query: Vec<(String, String)>,
+    /// Headers as `(lowercased-name, trimmed-value)`, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection may serve another request afterwards
+    /// (HTTP/1.1 defaults to yes, HTTP/1.0 to no; the `Connection`
+    /// header overrides either way).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of the (lowercase) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean EOF before the first request byte: the peer closed an
+    /// idle keep-alive connection. Not an error to report.
+    Closed,
+    /// Socket-level failure (including read timeouts) mid-request.
+    Io(io::Error),
+    /// Syntactically invalid or over-limit request — answer 400 and
+    /// close.
+    Malformed(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Io(e) => write!(f, "socket error: {e}"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+/// Reads one line (terminated by `\n`, with an optional preceding
+/// `\r`) enforcing `cap` bytes. `Ok(None)` means EOF before any byte.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+) -> Result<Option<String>, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(RequestError::Malformed("unterminated line".to_string()));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if line.len() + take > cap + 2 {
+            // +2: allow the terminating \r\n itself on a full line.
+            return Err(RequestError::Malformed(format!("line exceeds {cap} bytes")));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    match String::from_utf8(line) {
+        Ok(s) => Ok(Some(s)),
+        Err(_) => Err(RequestError::Malformed("line is not UTF-8".to_string())),
+    }
+}
+
+/// Percent-decodes `s`; in query context (`plus_is_space`) `+` also
+/// decodes to a space.
+fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, RequestError> {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    let hi = (pair[0] as char).to_digit(16)?;
+                    let lo = (pair[1] as char).to_digit(16)?;
+                    u8::try_from(hi * 16 + lo).ok()
+                });
+                match hex {
+                    Some(b) => out.push(b),
+                    None => {
+                        return Err(RequestError::Malformed(format!(
+                            "bad percent escape in {s:?}"
+                        )))
+                    }
+                }
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| RequestError::Malformed(format!("escape in {s:?} is not UTF-8")))
+}
+
+/// Splits a raw target into decoded path + query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), RequestError> {
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed(format!(
+            "target {target:?} is not an absolute path"
+        )));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Reads and parses one request from `reader`, discarding any body
+/// (the service has no body-carrying endpoint; bodies are tolerated
+/// up to [`MAX_BODY_BYTES`] so clients that send one anyway keep the
+/// connection framed).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let line = match read_line_limited(reader, MAX_REQUEST_LINE_BYTES)? {
+        Some(line) => line,
+        None => return Err(RequestError::Closed),
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line {line:?}"
+            )))
+        }
+    };
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(RequestError::Malformed(format!("bad method {method:?}")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(RequestError::Malformed(format!(
+                "unsupported version {other:?}"
+            )))
+        }
+    };
+    let (path, query) = parse_target(target)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line_limited(reader, MAX_HEADER_LINE_BYTES)? {
+            Some(line) => line,
+            None => return Err(RequestError::Malformed("EOF inside headers".to_string())),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADER_COUNT {
+            return Err(RequestError::Malformed(format!(
+                "more than {MAX_HEADER_COUNT} headers"
+            )));
+        }
+        let (name, value) = match line.split_once(':') {
+            Some((n, v)) if !n.is_empty() && !n.contains(' ') => (n, v),
+            _ => return Err(RequestError::Malformed(format!("bad header {line:?}"))),
+        };
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        keep_alive: http11,
+    };
+    match request.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => request.keep_alive = false,
+        Some(c) if c == "keep-alive" => request.keep_alive = true,
+        _ => {}
+    }
+    if request.header("transfer-encoding").is_some() {
+        return Err(RequestError::Malformed(
+            "chunked request bodies are unsupported".to_string(),
+        ));
+    }
+    if let Some(raw_len) = request.header("content-length") {
+        let len: usize = raw_len
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {raw_len:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(RequestError::Malformed(format!(
+                "body of {len} bytes exceeds {MAX_BODY_BYTES}"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        io::Read::read_exact(reader, &mut body).map_err(RequestError::Io)?;
+    }
+    Ok(request)
+}
+
+/// A response ready to serialize: status, content type, extra
+/// headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Allow` on a 405), written verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 with the given content type and body.
+    pub fn ok(content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// An error response with a one-line plain-text body
+    /// (`<status> <reason>: <detail>`).
+    pub fn error(status: u16, detail: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: format!("{status} {}: {detail}\n", reason(status)).into_bytes(),
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response, framing the body with
+    /// `Content-Length` and advertising the connection decision.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: hyvec-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_request_with_query_and_headers() {
+        let r = parse(
+            "GET /report/fig3/A?seed=9&instructions=2000&format=json HTTP/1.1\r\n\
+             Host: localhost\r\nAccept: */*\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/report/fig3/A");
+        assert_eq!(
+            r.query,
+            vec![
+                ("seed".to_string(), "9".to_string()),
+                ("instructions".to_string(), "2000".to_string()),
+                ("format".to_string(), "json".to_string()),
+            ]
+        );
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn keep_alive_defaults_and_overrides() {
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let r = parse("GET /report/fig3%2FA?note=a+b%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/report/fig3/A");
+        assert_eq!(r.query, vec![("note".to_string(), "a b!".to_string())]);
+        assert!(matches!(
+            parse("GET /%zz HTTP/1.1\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            "NOT-HTTP\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nbad header\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let long_target = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        assert!(matches!(
+            parse(&long_target),
+            Err(RequestError::Malformed(_))
+        ));
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: v\r\n".repeat(MAX_HEADER_COUNT + 1)
+        );
+        assert!(matches!(
+            parse(&many_headers),
+            Err(RequestError::Malformed(_))
+        ));
+        let big_body = format!(
+            "POST /shutdown HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&big_body), Err(RequestError::Malformed(_))));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+        // EOF mid-headers is malformed, though.
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn small_bodies_are_discarded_and_keep_framing() {
+        let raw = "POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let first = read_request(&mut reader).unwrap();
+        assert_eq!(first.method, "POST");
+        let second = read_request(&mut reader).unwrap();
+        assert_eq!(second.path, "/healthz");
+    }
+
+    #[test]
+    fn responses_are_framed_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::ok("application/json", b"{}\n".to_vec())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+
+        let mut out = Vec::new();
+        Response::error(405, "use GET")
+            .with_header("Allow", "GET")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("405 Method Not Allowed: use GET\n"));
+    }
+}
