@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! hyvec <command> [--instructions N] [--seed S] [--jobs J]
-//!                 [--format text|json|csv] [--filter GLOB] [--bench-out PATH]
-//!                 [--force-slow-path]
+//!                 [--sim-threads T] [--format text|json|csv]
+//!                 [--filter GLOB] [--bench-out PATH] [--force-slow-path]
 //!
 //! commands:
 //!   run-all       the full evaluation matrix, fanned across cores
@@ -35,6 +35,10 @@
 //! `--force-slow-path` routes every simulated access through the full
 //! EDC decode path even while fault-free — a diagnostic knob; the
 //! rendered report is byte-identical with or without it.
+//! `--sim-threads` sets the worker-thread count of the epoch-parallel
+//! multi-core engine (default 1 = the serial reference loop); like
+//! `--jobs` and `--force-slow-path` it never changes a single byte of
+//! the rendered report, only wall time.
 
 use std::process::ExitCode;
 
@@ -200,6 +204,31 @@ fn main() -> ExitCode {
                 "wrote hot-path throughput to {path} (L1-hit fast path {:.2}x)",
                 hot.l1_hit_speedup().unwrap_or(0.0)
             ),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // And the epoch-parallel scaling artifact: serial vs threaded
+        // wall time per core count (the measurement asserts the two
+        // paths' reports are identical before trusting any timing).
+        let scaling = hyvec_bench::multicore::measure(
+            hyvec_bench::multicore::RUN_ALL_INSTRUCTIONS,
+            hyvec_bench::multicore::default_threads(),
+        );
+        let path = "BENCH_multicore.json";
+        match std::fs::write(path, scaling.json()) {
+            Ok(()) => {
+                let best = scaling
+                    .rows
+                    .iter()
+                    .map(|r| r.speedup())
+                    .fold(0.0f64, f64::max);
+                eprintln!(
+                    "wrote epoch-parallel scaling to {path} (best speedup {best:.2}x at {} sim threads)",
+                    scaling.sim_threads
+                );
+            }
             Err(e) => {
                 eprintln!("could not write {path}: {e}");
                 return ExitCode::FAILURE;

@@ -34,6 +34,11 @@ pub struct CliOptions {
     /// (`--force-slow-path`). Purely diagnostic: the report is
     /// byte-identical with or without it.
     pub force_slow_path: bool,
+    /// Worker threads of the epoch-parallel multi-core engine
+    /// (`--sim-threads`; default 1 = the serial reference loop).
+    /// Orthogonal to `--jobs`, which parallelizes across experiments;
+    /// the report is byte-identical at every value.
+    pub sim_threads: usize,
 }
 
 impl Default for CliOptions {
@@ -45,12 +50,13 @@ impl Default for CliOptions {
             globs: Vec::new(),
             bench_out: None,
             force_slow_path: false,
+            sim_threads: 1,
         }
     }
 }
 
 /// The flag summary shared by every usage string.
-pub const FLAGS_USAGE: &str = "[--instructions N] [--seed S] [--jobs J] [--format text|json|csv] [--filter GLOB] [--force-slow-path]";
+pub const FLAGS_USAGE: &str = "[--instructions N] [--seed S] [--jobs J] [--sim-threads T] [--format text|json|csv] [--filter GLOB] [--force-slow-path]";
 
 /// Parses the common flags from an argument iterator (after any
 /// subcommand has been consumed).
@@ -81,6 +87,14 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> Result<CliOptions, Str
                     return Err("--jobs must be at least 1".to_string());
                 }
             }
+            "--sim-threads" => {
+                options.sim_threads = value
+                    .parse()
+                    .map_err(|e| format!("bad --sim-threads: {e}"))?;
+                if options.sim_threads == 0 {
+                    return Err("--sim-threads must be at least 1".to_string());
+                }
+            }
             "--format" | "-f" => {
                 options.format = value.parse()?;
             }
@@ -102,7 +116,8 @@ pub fn sweep_for(options: &CliOptions, artifacts: &[&str]) -> SweepBuilder {
     let mut builder = SweepBuilder::new()
         .params(options.params)
         .jobs(options.jobs)
-        .force_slow_path(options.force_slow_path);
+        .force_slow_path(options.force_slow_path)
+        .sim_threads(options.sim_threads);
     if !artifacts.is_empty() {
         builder = builder.artifacts(artifacts.iter().copied());
     }
@@ -184,6 +199,16 @@ mod tests {
         assert_eq!(o.jobs, 2);
         let o = parse(&["--jobs", "2", "--force-slow-path"]).unwrap();
         assert!(o.force_slow_path);
+    }
+
+    #[test]
+    fn sim_threads_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().sim_threads, 1);
+        let o = parse(&["--sim-threads", "8", "--jobs", "2"]).unwrap();
+        assert_eq!(o.sim_threads, 8);
+        assert_eq!(o.jobs, 2);
+        assert!(parse(&["--sim-threads", "0"]).is_err());
+        assert!(parse(&["--sim-threads"]).is_err());
     }
 
     #[test]

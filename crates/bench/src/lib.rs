@@ -23,6 +23,10 @@
 //! the shared text/JSON/CSV backends (`--format`). The `benches/`
 //! directory holds Criterion micro-benchmarks of the substrates (EDC
 //! throughput, simulator speed, yield math, trace generation).
+//!
+//! The [`hotpath`] and [`multicore`] modules are in-process bench
+//! harnesses with JSON artifacts of their own (`BENCH_hotpath.json`,
+//! `BENCH_multicore.json`), both written by `hyvec run-all`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -30,6 +34,7 @@
 
 pub mod cli;
 pub mod hotpath;
+pub mod multicore;
 
 // The render helpers live next to the sweep engine; re-exported here
 // to keep the seed's public API.

@@ -419,6 +419,47 @@ impl MemoryConfig {
     }
 }
 
+/// MESI coherence parameters for a private-L2 topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mesi {
+    /// Extra cycles a request pays when a peer L2 supplies the line
+    /// (a cache-to-cache intervention) instead of main memory.
+    pub intervention_latency: u32,
+}
+
+impl Default for Mesi {
+    fn default() -> Self {
+        Mesi {
+            intervention_latency: 6,
+        }
+    }
+}
+
+/// The L2 arrangement of a multi-core build
+/// ([`crate::engine::SystemBuilder::build_multi`]).
+///
+/// The default, [`Topology::SharedL2`], is the paper's shape: N
+/// private split-L1 front ends over one shared L2 (or straight to
+/// memory when no L2 is configured). [`Topology::PrivateL2`] gives
+/// every core its own L2 of the configured geometry over one shared
+/// memory; with `coherence` set, a directory tracked across the
+/// private tag arrays keeps the L2s MESI-coherent and counts
+/// invalidations and interventions, and with `coherence: None` the
+/// private L2s are incoherent (disjoint working sets assumed, every
+/// miss fills from memory).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Topology {
+    /// One L2 (or flat memory) shared by every core.
+    #[default]
+    SharedL2,
+    /// A private L2 per core over one shared memory.
+    PrivateL2 {
+        /// MESI coherence between the private L2s, or `None` for
+        /// incoherent private caches.
+        coherence: Option<Mesi>,
+    },
+}
+
 /// Configuration of the full simulated system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {

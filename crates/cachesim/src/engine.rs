@@ -14,9 +14,13 @@
 //!   which stems from the fill/correction path.
 
 use crate::cache::{HybridCache, WordSlot};
-use crate::config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig};
-use crate::hierarchy::{AccessRequest, Hierarchy, HitDepth, L2Cache, MainMemory, MemoryLevel};
-use crate::multicore::MultiCoreSystem;
+use crate::config::{
+    CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig, Topology,
+};
+use crate::hierarchy::{
+    AccessOutcome, AccessRequest, Hierarchy, HitDepth, L2Cache, MainMemory, MemoryLevel, PrivateL2s,
+};
+use crate::multicore::{MultiChain, MultiCoreSystem};
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::stats::RunStats;
 use hyvec_cachemodel::{OperatingPoint, TechnologyParams};
@@ -25,8 +29,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Default seed of the soft-error RNG (historical constant of
-/// `System::new`; [`SystemBuilder::seu`] overrides it).
-const DEFAULT_SEU_SEED: u64 = 0x5E0_E44;
+/// `System::new`; [`SystemBuilder::seu`] overrides it). The
+/// multi-core engine derives per-core streams from the same seed.
+pub(crate) const DEFAULT_SEU_SEED: u64 = 0x5E0_E44;
 
 /// Per-core timing constants hoisted out of the instruction loop
 /// (identical across the cores of a [`MultiCoreSystem`], which share
@@ -193,6 +198,121 @@ pub(crate) fn execute_entry<B: MemoryLevel + ?Sized>(
     cycles
 }
 
+/// Which L1 a chain-bound fill request belongs to (decides the EDC
+/// latency charged on top of the composed fill latency and which
+/// stall counter absorbs it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    /// An IL1 fetch miss.
+    Il1,
+    /// A DL1 piece miss.
+    Dl1,
+}
+
+/// One chain-bound request recorded by the L1 front phase, to be
+/// replayed against the shared chain at the merge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChainRequest {
+    /// Byte address of the fill.
+    pub addr: u64,
+    /// `true` when the missing access was a store (write-allocate).
+    pub is_write: bool,
+    /// Which L1 missed.
+    pub kind: ReqKind,
+}
+
+/// The L1-front phase of one entry: drives IL1/DL1, charges the
+/// chain-independent stats (correction and RMW bubbles), and appends
+/// the entry's chain-bound fill requests to `requests` in program
+/// order (IL1 fetch first, then DL1 pieces). Returns the entry's
+/// *core-local* cycles: the base cycle plus every bubble, excluding
+/// fill stalls, which [`apply_fill`] charges when the chain outcome
+/// is known.
+///
+/// `execute_entry` == `front_entry` + one [`apply_fill`] per recorded
+/// request, by construction: the L1s never observe the chain, and the
+/// chain never observes the L1s, so splitting the two phases moves
+/// only *when* each counter is incremented, never by how much. The
+/// epoch-parallel multi-core engine runs the front phase on worker
+/// threads and replays the logs serially at the epoch barrier; its
+/// serial reference path uses the same two helpers back-to-back.
+pub(crate) fn front_entry(
+    il1: &mut HybridCache,
+    dl1: &mut HybridCache,
+    timing: CoreTiming,
+    stats: &mut RunStats,
+    entry: TraceEntry,
+    requests: &mut Vec<ChainRequest>,
+) -> u64 {
+    let mut cycles = 1u64;
+
+    let fetch = il1.access(entry.pc, false);
+    if !fetch.hit {
+        requests.push(ChainRequest {
+            addr: entry.pc,
+            is_write: false,
+            kind: ReqKind::Il1,
+        });
+    }
+    if fetch.corrected > 0 {
+        stats.edc_stall_cycles += 1;
+        cycles += 1;
+    }
+
+    if let Some(access) = entry.access {
+        for (addr, size) in
+            split_at_line_boundaries(access.addr, access.size, timing.dl1_line_bytes)
+        {
+            let data = dl1.access(addr, access.is_write);
+            if !data.hit {
+                requests.push(ChainRequest {
+                    addr,
+                    is_write: access.is_write,
+                    kind: ReqKind::Dl1,
+                });
+            }
+            if data.corrected > 0 {
+                stats.edc_stall_cycles += 1;
+                cycles += 1;
+            }
+            if access.is_write && size < 4 && timing.dl1_edc_latency > 0 {
+                stats.edc_stall_cycles += 1;
+                cycles += 1;
+            }
+        }
+    }
+
+    cycles
+}
+
+/// The chain phase of one recorded request: charges the composed fill
+/// outcome to the issuing core's stats and energy, returning the
+/// stall cycles the core pays (composed fill latency + the missing
+/// L1's EDC pipeline). Counterpart of [`front_entry`]; see there.
+pub(crate) fn apply_fill(
+    timing: CoreTiming,
+    kind: ReqKind,
+    fill: AccessOutcome,
+    stats: &mut RunStats,
+    below_pj: &mut f64,
+) -> u64 {
+    *below_pj += fill.energy_pj;
+    stats.below_corrected += u64::from(fill.corrected);
+    stats.below_detected += u64::from(fill.detected);
+    stats.memory_accesses += u64::from(fill.depth == HitDepth::Memory);
+    let edc_latency = match kind {
+        ReqKind::Il1 => timing.il1_edc_latency,
+        ReqKind::Dl1 => timing.dl1_edc_latency,
+    };
+    let stall = u64::from(fill.latency_cycles + edc_latency);
+    match kind {
+        ReqKind::Il1 => stats.il1_stall_cycles += stall,
+        ReqKind::Dl1 => stats.dl1_stall_cycles += stall,
+    }
+    stats.edc_stall_cycles += u64::from(edc_latency);
+    stall
+}
+
 /// The single-core instruction loop, generic over the chain below so
 /// each stock [`Hierarchy`] shape compiles its own copy with static
 /// dispatch (custom chains instantiate it with `dyn MemoryLevel`).
@@ -300,6 +420,7 @@ pub struct SystemBuilder {
     tech: TechnologyParams,
     uncore_ten_t_sizing: f64,
     seu: Option<(f64, u64)>,
+    topology: Topology,
 }
 
 impl Default for SystemBuilder {
@@ -312,6 +433,7 @@ impl Default for SystemBuilder {
             tech: TechnologyParams::nm32(),
             uncore_ten_t_sizing: 2.65,
             seu: None,
+            topology: Topology::SharedL2,
         }
     }
 }
@@ -378,6 +500,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the L2 arrangement of a multi-core build
+    /// ([`SystemBuilder::build_multi`]): the default shared L2, or a
+    /// private L2 per core with an optional MESI coherence policy.
+    /// Ignored by the single-core [`SystemBuilder::build`].
+    pub fn topology(mut self, topology: Topology) -> SystemBuilder {
+        self.topology = topology;
+        self
+    }
+
     /// Validates every configured piece and assembles the system (in
     /// HP mode, caches empty).
     ///
@@ -427,13 +558,17 @@ impl SystemBuilder {
 
     /// Validates the configuration and assembles a `cores`-core
     /// machine: `cores` private split-L1 front ends (all built from
-    /// the same IL1/DL1 configuration) over **one** shared L2/memory
-    /// chain. See [`MultiCoreSystem`] for the execution model.
+    /// the same IL1/DL1 configuration) over the configured
+    /// [`Topology`] — **one** shared L2/memory chain by default, or a
+    /// private L2 per core (optionally MESI-coherent) over one shared
+    /// memory. See [`MultiCoreSystem`] for the execution model.
     ///
     /// # Errors
     ///
     /// Everything [`SystemBuilder::build`] rejects, plus
-    /// [`ConfigError::NoCores`] when `cores` is zero.
+    /// [`ConfigError::NoCores`] when `cores` is zero and
+    /// [`ConfigError::MissingCache`] (`"l2"`) when a private-L2
+    /// topology is requested without an L2 geometry.
     pub fn build_multi(self, cores: usize) -> Result<MultiCoreSystem, ConfigError> {
         if cores == 0 {
             return Err(ConfigError::NoCores);
@@ -446,6 +581,10 @@ impl SystemBuilder {
             .dl1
             .clone()
             .ok_or(ConfigError::MissingCache { cache: "dl1" })?;
+        let topology = self.topology;
+        let l2_cfg = self.l2.clone();
+        let memory_cfg = self.memory;
+        let (_, seu_seed) = self.seu.unwrap_or((0.0, DEFAULT_SEU_SEED));
         // Core 0 (and the shared chain, power model and SEU state)
         // comes from the single-core constructor, so the two paths
         // can never diverge on validation or assembly.
@@ -455,8 +594,20 @@ impl SystemBuilder {
             below,
             power,
             seu_rate_per_bit_cycle,
-            seu_rng,
+            ..
         } = self.build()?;
+        let below = match topology {
+            Topology::SharedL2 => MultiChain::Shared(below),
+            Topology::PrivateL2 { coherence } => {
+                let l2 = l2_cfg.ok_or(ConfigError::MissingCache { cache: "l2" })?;
+                MultiChain::Private(PrivateL2s::new(
+                    l2,
+                    cores,
+                    coherence,
+                    MainMemory::new(memory_cfg),
+                ))
+            }
+        };
         let mut fronts = vec![(il1, dl1)];
         for _ in 1..cores {
             fronts.push((
@@ -469,7 +620,7 @@ impl SystemBuilder {
             below,
             power,
             seu_rate_per_bit_cycle,
-            seu_rng,
+            seu_seed,
         ))
     }
 }

@@ -388,6 +388,321 @@ impl<N: MemoryLevel> MemoryLevel for L2Cache<N> {
     }
 }
 
+/// MESI state of one line in a private L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum LineState {
+    #[default]
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CohLine {
+    state: LineState,
+    tag: u64,
+    lru: u64,
+}
+
+/// A private L2 per core over one shared [`MainMemory`] — the
+/// `PrivateL2 { .. }` side of the multi-core
+/// [`Topology`](crate::config::Topology).
+///
+/// Every core owns an L2 of the same [`L2Config`] geometry; requests
+/// enter through [`access_from`](PrivateL2s::access_from) with the
+/// issuing core's index. With a [`Mesi`](crate::config::Mesi) policy
+/// installed, a directory distributed across the per-core tag arrays
+/// keeps the L2s coherent: a write invalidates every peer copy
+/// (counted in [`CacheStats::invalidations`]), and a miss whose line a
+/// peer holds is supplied cache-to-cache (counted in
+/// [`CacheStats::interventions`], at `hit_latency +
+/// intervention_latency` instead of the memory round trip; a modified
+/// owner first writes the line back). Without a policy the private
+/// L2s are incoherent: no probing, every miss fills from memory.
+///
+/// Like [`L2Cache`], this is a timing/energy model over tags and LRU
+/// only — the bit-accurate storage stays in the L1 ways. Counters are
+/// aggregated across all cores into one [`CacheStats`] (the multi-core
+/// report's `l2` entry), with memory keeping its own.
+#[derive(Debug)]
+pub struct PrivateL2s {
+    config: L2Config,
+    coherence: Option<crate::config::Mesi>,
+    /// Per core: `sets * ways` line metadata, flattened
+    /// (`set * ways + way`).
+    lines: Vec<Vec<CohLine>>,
+    lru_clock: u64,
+    stats: CacheStats,
+    memory: MainMemory,
+}
+
+impl PrivateL2s {
+    /// Builds one empty private L2 per core over `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`L2Config::validate`]) or `cores` is zero; the fallible path
+    /// is [`SystemBuilder::build_multi`](crate::engine::SystemBuilder::build_multi).
+    pub fn new(
+        config: L2Config,
+        cores: usize,
+        coherence: Option<crate::config::Mesi>,
+        memory: MainMemory,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            // hyvec-lint: allow(no-panic, "documented panicking constructor; SystemBuilder::build_multi validates on the fallible path")
+            panic!("invalid private L2 config: {e}");
+        }
+        // hyvec-lint: allow(no-panic, "documented panicking constructor; SystemBuilder::build_multi rejects zero cores on the fallible path")
+        assert!(cores > 0, "private L2 topology needs at least one core");
+        let per_core = (config.sets() as usize) * config.ways;
+        PrivateL2s {
+            config,
+            coherence,
+            lines: vec![vec![CohLine::default(); per_core]; cores],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+            memory,
+        }
+    }
+
+    /// The per-core L2 geometry.
+    pub fn config(&self) -> &L2Config {
+        &self.config
+    }
+
+    /// The coherence policy, if any.
+    pub fn coherence(&self) -> Option<crate::config::Mesi> {
+        self.coherence
+    }
+
+    /// Number of private L2s (cores).
+    pub fn cores(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Aggregate counters across all private L2s.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let line_addr = addr / self.config.line_bytes;
+        (
+            line_addr % self.config.sets(),
+            line_addr / self.config.sets(),
+        )
+    }
+
+    fn line_addr(&self, set: u64, tag: u64) -> u64 {
+        (tag * self.config.sets() + set) * self.config.line_bytes
+    }
+
+    /// Index of `tag` in `core`'s set, if that core holds the line.
+    fn holder_way(&self, core: usize, base: usize, tag: u64) -> Option<usize> {
+        (0..self.config.ways).find(|&w| {
+            let line = self.lines[core][base + w];
+            line.state != LineState::Invalid && line.tag == tag
+        })
+    }
+
+    /// One request from `core`'s L1s into its private L2.
+    pub fn access_from(&mut self, core: usize, req: AccessRequest) -> AccessOutcome {
+        let (set, tag) = self.index(req.addr);
+        let base = set as usize * self.config.ways;
+        self.lru_clock += 1;
+        self.stats.accesses += 1;
+        if req.is_write {
+            self.stats.writes += 1;
+        }
+
+        if let Some(way) = self.holder_way(core, base, tag) {
+            self.stats.hits += 1;
+            if req.is_write && self.lines[core][base + way].state != LineState::Modified {
+                // Write upgrade: peers' copies die before we own it.
+                if self.coherence.is_some() {
+                    self.invalidate_peers(core, set, tag);
+                }
+                self.lines[core][base + way].state = LineState::Modified;
+            }
+            self.lines[core][base + way].lru = self.lru_clock;
+            let energy = if req.is_write {
+                self.config.write_energy_pj
+            } else {
+                self.config.read_energy_pj
+            };
+            return AccessOutcome {
+                latency_cycles: self.config.hit_latency,
+                energy_pj: energy,
+                corrected: 0,
+                detected: 0,
+                depth: HitDepth::L2,
+            };
+        }
+
+        // Miss in the own L2: evict, then either a peer supplies the
+        // line (coherent topologies) or memory does.
+        self.stats.misses += 1;
+        let victim = (0..self.config.ways)
+            .min_by_key(|&w| {
+                let line = self.lines[core][base + w];
+                (line.state != LineState::Invalid, line.lru)
+            })
+            // hyvec-lint: allow(no-panic, "L2Config::validate rejects ways == 0, so the range is never empty")
+            .expect("private L2 has at least one way");
+        let mut energy = self.config.read_energy_pj + self.config.write_energy_pj;
+        let victim_line = self.lines[core][base + victim];
+        if victim_line.state == LineState::Modified {
+            self.stats.writebacks += 1;
+            let addr = self.line_addr(set, victim_line.tag);
+            energy += self.memory.access(AccessRequest::write(addr)).energy_pj;
+        }
+
+        let supplied = match self.coherence {
+            Some(_) => self.probe_peers(core, set, tag, req.is_write),
+            None => None,
+        };
+        let (latency, depth, install) = match supplied {
+            Some(supply_energy) => {
+                energy += supply_energy;
+                let mesi = self.coherence.unwrap_or_default();
+                let state = if req.is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Shared
+                };
+                (
+                    self.config.hit_latency + mesi.intervention_latency,
+                    HitDepth::L2,
+                    state,
+                )
+            }
+            None => {
+                let below = self.memory.access(AccessRequest::read(req.addr));
+                energy += below.energy_pj;
+                let state = if req.is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Exclusive
+                };
+                (
+                    self.config.hit_latency + below.latency_cycles,
+                    below.depth,
+                    state,
+                )
+            }
+        };
+        self.lines[core][base + victim] = CohLine {
+            state: install,
+            tag,
+            lru: self.lru_clock,
+        };
+        self.stats.fills += 1;
+
+        AccessOutcome {
+            latency_cycles: latency,
+            energy_pj: energy,
+            corrected: 0,
+            detected: 0,
+            depth,
+        }
+    }
+
+    /// Invalidates every peer copy of `(set, tag)` (a write upgrade or
+    /// write-miss broadcast), counting one invalidation per victim.
+    fn invalidate_peers(&mut self, core: usize, set: u64, tag: u64) {
+        let base = set as usize * self.config.ways;
+        for peer in 0..self.lines.len() {
+            if peer == core {
+                continue;
+            }
+            if let Some(way) = self.holder_way(peer, base, tag) {
+                self.lines[peer][base + way].state = LineState::Invalid;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Probes the peers for `(set, tag)` on a coherent miss from
+    /// `core`. Returns the supply energy if some peer intervened
+    /// (counting the intervention, demoting or invalidating holders,
+    /// and writing back a modified owner on reads); `None` sends the
+    /// request to memory.
+    fn probe_peers(&mut self, core: usize, set: u64, tag: u64, is_write: bool) -> Option<f64> {
+        let base = set as usize * self.config.ways;
+        let mut supplied = false;
+        let mut energy = 0.0;
+        for peer in 0..self.lines.len() {
+            if peer == core {
+                continue;
+            }
+            let Some(way) = self.holder_way(peer, base, tag) else {
+                continue;
+            };
+            if !supplied {
+                // First holder in core order supplies the line.
+                self.stats.interventions += 1;
+                energy += self.config.read_energy_pj;
+                supplied = true;
+            }
+            let line = &mut self.lines[peer][base + way];
+            if is_write {
+                line.state = LineState::Invalid;
+                self.stats.invalidations += 1;
+            } else if line.state == LineState::Modified {
+                // Sharing a dirty line: the owner writes it back and
+                // keeps a clean copy.
+                line.state = LineState::Shared;
+                self.stats.writebacks += 1;
+                let addr = self.line_addr(set, tag);
+                energy += self.memory.access(AccessRequest::write(addr)).energy_pj;
+            } else {
+                line.state = LineState::Shared;
+            }
+        }
+        supplied.then_some(energy)
+    }
+}
+
+impl MemoryLevel for PrivateL2s {
+    /// Routed through core 0 — present so a `PrivateL2s` can stand in
+    /// any `MemoryLevel` slot; the multi-core engine always calls
+    /// [`access_from`](PrivateL2s::access_from) with the real core.
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.access_from(0, req)
+    }
+
+    fn flush(&mut self) {
+        // Dirty lines leave through the writeback path, like L2Cache.
+        for core in 0..self.lines.len() {
+            for idx in 0..self.lines[core].len() {
+                let line = self.lines[core][idx];
+                if line.state == LineState::Modified {
+                    self.stats.writebacks += 1;
+                    let set = (idx / self.config.ways) as u64;
+                    let addr = self.line_addr(set, line.tag);
+                    self.memory.access(AccessRequest::write(addr));
+                }
+                self.lines[core][idx] = CohLine::default();
+            }
+        }
+        MemoryLevel::flush(&mut self.memory);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        MemoryLevel::reset_stats(&mut self.memory);
+    }
+
+    fn chain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        let mut chain = vec![("l2", self.stats)];
+        chain.extend(self.memory.chain_stats());
+        chain
+    }
+}
+
 /// The stock flat chain: the L1s miss straight into [`MainMemory`].
 ///
 /// One of the two concrete driver shapes
@@ -629,6 +944,117 @@ mod tests {
         let mut config = L2Config::unified(32);
         config.ways = 0;
         L2Cache::new(config, memory(20));
+    }
+
+    fn private_l2s(cores: usize, coherence: Option<crate::config::Mesi>) -> PrivateL2s {
+        let config = L2Config {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 2,
+            hit_latency: 4,
+            read_energy_pj: 2.0,
+            write_energy_pj: 3.0,
+        };
+        PrivateL2s::new(
+            config,
+            cores,
+            coherence,
+            MainMemory::new(MemoryConfig::with_latency(20)),
+        )
+    }
+
+    #[test]
+    fn incoherent_private_l2s_never_probe() {
+        let mut p = private_l2s(2, None);
+        assert_eq!(
+            p.access_from(0, AccessRequest::read(0x100)).depth,
+            HitDepth::Memory
+        );
+        // Core 1 misses the same line: no peer supply without MESI.
+        assert_eq!(
+            p.access_from(1, AccessRequest::read(0x100)).depth,
+            HitDepth::Memory
+        );
+        assert_eq!(p.stats().interventions, 0);
+        assert_eq!(p.stats().invalidations, 0);
+        assert_eq!(p.chain_stats()[1].1.accesses, 2, "both misses hit memory");
+        // Each core hits privately afterwards.
+        assert_eq!(
+            p.access_from(0, AccessRequest::read(0x104)).depth,
+            HitDepth::L2
+        );
+        assert_eq!(
+            p.access_from(1, AccessRequest::read(0x104)).depth,
+            HitDepth::L2
+        );
+    }
+
+    #[test]
+    fn mesi_read_sharing_supplies_cache_to_cache() {
+        let mesi = crate::config::Mesi {
+            intervention_latency: 9,
+        };
+        let mut p = private_l2s(2, Some(mesi));
+        let fill = p.access_from(0, AccessRequest::read(0x200));
+        assert_eq!(fill.depth, HitDepth::Memory);
+        // Core 1's miss is supplied by core 0 at hit + intervention
+        // latency, never touching memory.
+        let supplied = p.access_from(1, AccessRequest::read(0x200));
+        assert_eq!(supplied.depth, HitDepth::L2);
+        assert_eq!(supplied.latency_cycles, 4 + 9);
+        assert_eq!(p.stats().interventions, 1);
+        assert_eq!(p.chain_stats()[1].1.accesses, 1, "one memory fill only");
+    }
+
+    #[test]
+    fn mesi_write_invalidates_peer_copies() {
+        let mut p = private_l2s(3, Some(crate::config::Mesi::default()));
+        p.access_from(0, AccessRequest::read(0x300));
+        p.access_from(1, AccessRequest::read(0x300));
+        // Core 2's write miss pulls the line in M and kills both
+        // copies (one intervention, two invalidations).
+        p.access_from(2, AccessRequest::write(0x300));
+        assert_eq!(p.stats().invalidations, 2);
+        // The former holders must miss now.
+        assert_eq!(
+            p.access_from(0, AccessRequest::read(0x300)).depth,
+            HitDepth::L2
+        );
+        assert_eq!(
+            p.stats().interventions,
+            3,
+            "fill for core 1, write-miss broadcast, re-read from the new owner"
+        );
+    }
+
+    #[test]
+    fn mesi_dirty_owner_writes_back_when_sharing() {
+        let mut p = private_l2s(2, Some(crate::config::Mesi::default()));
+        p.access_from(0, AccessRequest::write(0x400));
+        let memory_writes_before = p.chain_stats()[1].1.writes;
+        // Core 1 reads the dirty line: the owner supplies it, writes
+        // it back, and both end up Shared.
+        let out = p.access_from(1, AccessRequest::read(0x400));
+        assert_eq!(out.depth, HitDepth::L2);
+        assert_eq!(p.stats().writebacks, 1);
+        assert_eq!(p.chain_stats()[1].1.writes, memory_writes_before + 1);
+        // A later write hit on the Shared copy upgrades and
+        // invalidates the peer.
+        p.access_from(1, AccessRequest::write(0x400));
+        assert_eq!(p.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn private_l2_flush_writes_dirty_lines_back() {
+        let mut p = private_l2s(2, Some(crate::config::Mesi::default()));
+        p.access_from(0, AccessRequest::write(0x500));
+        p.access_from(1, AccessRequest::write(0x540));
+        MemoryLevel::flush(&mut p);
+        assert_eq!(p.stats().writebacks, 2);
+        assert_eq!(
+            p.access_from(0, AccessRequest::read(0x500)).depth,
+            HitDepth::Memory
+        );
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //!   [`hyvec_mediabench::TraceSource`], with the fluent
 //!   [`engine::SystemBuilder`] assembling the machine;
 //! * [`multicore`] — the multi-core shape on top of the same pieces:
-//!   N private split-L1 front ends round-robin-interleaved over one
-//!   shared L2/memory chain
+//!   N private split-L1 front ends in a canonical round-robin
+//!   interleaving over a shared L2/memory chain or per-core private
+//!   L2s (optionally MESI-coherent), simulated epoch-parallel on
+//!   worker threads with a deterministic merge
 //!   ([`SystemBuilder::build_multi`](engine::SystemBuilder::build_multi));
 //! * [`power`] — Wattch-style event-based energy accounting on top of
 //!   the [`hyvec_cachemodel`] arrays, producing the EPI breakdowns of
@@ -61,11 +63,17 @@ pub mod power;
 pub mod stats;
 
 pub use cache::HybridCache;
-pub use config::{CacheConfig, ConfigError, L2Config, MemoryConfig, Mode, SystemConfig, WaySpec};
+pub use config::{
+    CacheConfig, ConfigError, L2Config, MemoryConfig, Mesi, Mode, SystemConfig, Topology, WaySpec,
+};
 pub use engine::{RunReport, System, SystemBuilder};
 pub use hierarchy::{
     AccessRequest, Hierarchy, HitDepth, L1OverL2, L1OverMemory, L2Cache, MainMemory, MemoryLevel,
+    PrivateL2s,
 };
-pub use multicore::{MultiCoreReport, MultiCoreSystem};
+pub use multicore::{
+    global_sim_threads, set_global_sim_threads, MultiCoreReport, MultiCoreSystem,
+    EPOCH_INSTRUCTIONS,
+};
 pub use power::EnergyBreakdown;
 pub use stats::{CacheStats, RunStats};

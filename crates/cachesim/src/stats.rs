@@ -21,6 +21,13 @@ pub struct CacheStats {
     pub detected: u64,
     /// Silently corrupted payloads delivered.
     pub silent_corruptions: u64,
+    /// Lines invalidated by coherence (a peer's write upgrade).
+    /// Non-zero only under a coherent private-L2 topology.
+    pub invalidations: u64,
+    /// Requests supplied cache-to-cache by a peer holding the line,
+    /// instead of by main memory. Non-zero only under a coherent
+    /// private-L2 topology.
+    pub interventions: u64,
 }
 
 impl CacheStats {
@@ -50,7 +57,7 @@ impl CacheStats {
 
     /// The counters as `(machine key, value)` pairs, in declaration
     /// order. Structured emission for the report layer.
-    pub fn counters(&self) -> [(&'static str, u64); 9] {
+    pub fn counters(&self) -> [(&'static str, u64); 11] {
         [
             ("accesses", self.accesses),
             ("writes", self.writes),
@@ -61,6 +68,8 @@ impl CacheStats {
             ("corrected", self.corrected),
             ("detected", self.detected),
             ("silent_corruptions", self.silent_corruptions),
+            ("invalidations", self.invalidations),
+            ("interventions", self.interventions),
         ]
     }
 }

@@ -14,6 +14,7 @@
 //! | [`ablation_granularity`] | word-granularity protection choice |
 //! | [`ablation_l2`] | unified-L2 sweep over the open memory hierarchy |
 //! | [`ablation_cores`] | multi-core scaling behind a fixed shared L2 |
+//! | [`ablation_cores_mesi`] | private MESI-coherent L2s per core |
 
 use crate::architecture::{Architecture, DesignPoint, Scenario};
 use crate::methodology::{design_ule_way, MethodologyInputs, UleWayDesign};
@@ -841,8 +842,15 @@ pub struct CoresRow {
 /// from private-cache comfort to full thrash.
 pub const ABLATION_CORES_L2_KB: u64 = 16;
 
-/// Core counts swept by the multi-core ablation.
-pub const ABLATION_CORES_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Core counts swept by the multi-core ablation. The 16/32/64 entries
+/// are where the epoch-parallel engine pays for itself; the report is
+/// byte-identical at every `--sim-threads` value regardless.
+pub const ABLATION_CORES_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Core counts swept by the private-L2 MESI topology scenario of the
+/// multi-core ablation (a subset — coherence probing is O(cores) per
+/// miss, and three points already show the trend).
+pub const ABLATION_CORES_MESI_COUNTS: [usize; 3] = [2, 8, 32];
 
 /// The multi-program mix of the core-count ablation: core `i` runs
 /// program `i mod 6`. BigBench reordered so the L1-overflowing MPEG-2
@@ -858,9 +866,9 @@ pub const ABLATION_CORES_PROGRAMS: [Benchmark; 6] = [
     Benchmark::G721D,
 ];
 
-/// Sweeps the core count (1/2/4/8 private split-L1 front ends behind
-/// one fixed [`ABLATION_CORES_L2_KB`]-KB shared L2 and a slow memory)
-/// under the proposal design point. Core `i` runs
+/// Sweeps the core count ([`ABLATION_CORES_COUNTS`] private split-L1
+/// front ends behind one fixed [`ABLATION_CORES_L2_KB`]-KB shared L2
+/// and a slow memory) under the proposal design point. Core `i` runs
 /// [`ABLATION_CORES_PROGRAMS`]`[i mod 6]` at HP mode in its own
 /// address window ([`hyvec_mediabench::multiprogram_sources`]),
 /// round-robin interleaved at instruction granularity by the
@@ -913,6 +921,86 @@ pub fn ablation_cores(scenario: Scenario, params: ExperimentParams) -> Vec<Cores
                     .zip(&report.per_core)
                     .map(|(b, r)| (*b, r.stats.instructions as f64 / r.stats.cycles as f64))
                     .collect(),
+            }
+        })
+        .collect()
+}
+
+/// One core count of the private-L2 MESI topology scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoresTopologyRow {
+    /// Number of cores, each with a private MESI-coherent L2.
+    pub cores: usize,
+    /// Energy per instruction over the whole machine, pJ.
+    pub epi_pj: f64,
+    /// Aggregate hit ratio over all private L2s.
+    pub l2_hit_ratio: f64,
+    /// Machine-wide memory accesses per 1000 executed instructions.
+    pub memory_per_kilo_instructions: f64,
+    /// Peer lines invalidated by write upgrades, per 1000 executed
+    /// instructions.
+    pub invalidations_per_kilo: f64,
+    /// Misses supplied cache-to-cache by a peer L2 instead of memory,
+    /// per 1000 executed instructions.
+    pub interventions_per_kilo: f64,
+}
+
+/// Sweeps [`ABLATION_CORES_MESI_COUNTS`] cores over the
+/// [`Topology::PrivateL2`](hyvec_cachesim::config::Topology) shape:
+/// each core owns a private [`ABLATION_CORES_L2_KB`]-KB MESI-coherent
+/// L2 over the one shared memory. Unlike the shared-L2 sweep, the
+/// cores run decorrelated streams of the *same* program over the
+/// *same* address space (no per-core rebasing — the closest a
+/// trace-driven model gets to a multi-threaded program), so lines
+/// genuinely migrate: write upgrades invalidate peer copies and misses
+/// are supplied cache-to-cache.
+pub fn ablation_cores_mesi(scenario: Scenario, params: ExperimentParams) -> Vec<CoresTopologyRow> {
+    use hyvec_cachesim::config::{L2Config, MemoryConfig, Mesi, Topology};
+    use hyvec_mediabench::per_core_seed;
+
+    let arch = Architecture::build_with(
+        scenario,
+        DesignPoint::Proposal,
+        &FailureModel::default(),
+        &MethodologyInputs::default(),
+        7,
+        1,
+        ABLATION_L2_MEMORY_LATENCY,
+    )
+    // hyvec-lint: allow(no-panic, "the pinned 7+1 proposal sizing converges with default models; exercised by every run-all")
+    .expect("proposal architecture");
+
+    ABLATION_CORES_MESI_COUNTS
+        .iter()
+        .map(|&cores| {
+            let mut system = System::builder()
+                .config(arch.config.clone())
+                .memory(MemoryConfig::with_latency(ABLATION_L2_MEMORY_LATENCY))
+                .l2(L2Config::unified(ABLATION_CORES_L2_KB))
+                .topology(Topology::PrivateL2 {
+                    coherence: Some(Mesi::default()),
+                })
+                .build_multi(cores)
+                // hyvec-lint: allow(no-panic, "builder inputs are the validated paper geometry plus L2Config::unified presets; exercised by every run-all")
+                .expect("valid private-L2 MESI machine");
+            let sources: Vec<_> = (0..cores)
+                .map(|core| {
+                    ABLATION_CORES_PROGRAMS[0]
+                        .trace(params.instructions, per_core_seed(params.seed, core))
+                })
+                .collect();
+            let report = system.run(sources, Mode::Hp);
+            let instructions = report.instructions();
+            let kilo = |count: u64| 1000.0 * count as f64 / instructions as f64;
+            // hyvec-lint: allow(no-panic, "the private topology always reports an aggregate l2 level")
+            let l2 = report.l2.expect("private L2s report an l2 level");
+            CoresTopologyRow {
+                cores,
+                epi_pj: report.epi_pj(),
+                l2_hit_ratio: report.l2_hit_ratio(),
+                memory_per_kilo_instructions: kilo(report.memory.accesses),
+                invalidations_per_kilo: kilo(l2.invalidations),
+                interventions_per_kilo: kilo(l2.interventions),
             }
         })
         .collect()
@@ -1322,7 +1410,10 @@ fn cores_tables(rows: &[CoresRow]) -> Vec<Table> {
         .column(Column::new("core").right(1).prefix("-core run, core "))
         .column(Column::new("benchmark").left(7).prefix(": "))
         .column(Column::new("ipc").prefix(" IPC "));
-    for r in rows {
+    // Per-core rows only up to 8 cores: the 16/32/64 design points are
+    // summarized by the scaling table (their per-core listing would be
+    // 112 rows of the same 6 programs repeating).
+    for r in rows.iter().filter(|r| r.cores <= 8) {
         for (core, (benchmark, ipc)) in r.per_core_ipc.iter().enumerate() {
             per_core.push_row(vec![
                 Cell::int(r.cores as i64),
@@ -1333,6 +1424,28 @@ fn cores_tables(rows: &[CoresRow]) -> Vec<Table> {
         }
     }
     vec![scaling, per_core]
+}
+
+fn cores_mesi_table(rows: &[CoresTopologyRow]) -> Table {
+    let mut t = Table::new("private_l2_mesi")
+        .row_suffix(" per 1k instr")
+        .column(Column::new("cores").right(1))
+        .column(Column::new("epi_pj").prefix(" cores: EPI "))
+        .column(Column::new("l2_hit_ratio").prefix(" pJ, L2 hits "))
+        .column(Column::new("memory_per_kilo_instructions").prefix(", memory "))
+        .column(Column::new("invalidations_per_kilo").prefix(", invalidations "))
+        .column(Column::new("interventions_per_kilo").prefix(", interventions "));
+    for r in rows {
+        t.push_row(vec![
+            Cell::int(r.cores as i64),
+            Cell::float(r.epi_pj, 2),
+            Cell::percent(r.l2_hit_ratio),
+            Cell::float(r.memory_per_kilo_instructions, 2),
+            Cell::float(r.invalidations_per_kilo, 2),
+            Cell::float(r.interventions_per_kilo, 2),
+        ]);
+    }
+    t
 }
 
 fn voltage_table(rows: &[VoltageRow]) -> Table {
@@ -1503,13 +1616,18 @@ scenario_experiment!(
 );
 
 scenario_experiment!(
-    /// The core-count ablation (1/2/4/8 cores behind a fixed shared
-    /// L2: EPI, per-core IPC, L2 hit ratio and contention-induced
-    /// memory traffic) as an [`Experiment`].
+    /// The core-count ablation (1..64 cores behind a fixed shared L2:
+    /// EPI, per-core IPC, L2 hit ratio and contention-induced memory
+    /// traffic — plus the private-L2 MESI topology scenario with its
+    /// coherence-traffic counters) as an [`Experiment`].
     AblationCoresExperiment,
     "ablation-cores",
-    "Ablation: 1/2/4/8 cores sharing one L2 (EPI, per-core IPC, contention traffic)",
-    |e, p| cores_tables(&ablation_cores(e.scenario, p))
+    "Ablation: 1-64 cores over a shared L2 plus private MESI L2s (EPI, IPC, coherence traffic)",
+    |e, p| {
+        let mut tables = cores_tables(&ablation_cores(e.scenario, p));
+        tables.push(cores_mesi_table(&ablation_cores_mesi(e.scenario, p)));
+        tables
+    }
 );
 
 /// Hard faults + soft errors (DECTED vs SECDED, scenario B) as an
@@ -1762,7 +1880,7 @@ mod tests {
     #[test]
     fn cores_ablation_exposes_contention() {
         let rows = ablation_cores(Scenario::A, quick());
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), ABLATION_CORES_COUNTS.len());
         assert_eq!(
             rows.iter().map(|r| r.cores).collect::<Vec<_>>(),
             ABLATION_CORES_COUNTS
@@ -1799,6 +1917,32 @@ mod tests {
         // And core 0 (same program, same stream) can only slow down
         // when seven other programs contend for its L2 lines.
         assert!(eight.per_core_ipc[0].1 <= one.per_core_ipc[0].1);
+    }
+
+    #[test]
+    fn cores_mesi_ablation_counts_coherence_traffic() {
+        let rows = ablation_cores_mesi(Scenario::A, quick());
+        assert_eq!(
+            rows.iter().map(|r| r.cores).collect::<Vec<_>>(),
+            ABLATION_CORES_MESI_COUNTS
+        );
+        for r in &rows {
+            assert!(r.epi_pj > 0.0);
+            assert!(r.l2_hit_ratio > 0.0);
+            // Same program over the same address space on every core:
+            // writes must upgrade against peer copies and misses must
+            // be supplied cache-to-cache.
+            assert!(
+                r.invalidations_per_kilo > 0.0,
+                "{}-core MESI run recorded no invalidations",
+                r.cores
+            );
+            assert!(
+                r.interventions_per_kilo > 0.0,
+                "{}-core MESI run recorded no interventions",
+                r.cores
+            );
+        }
     }
 
     #[test]

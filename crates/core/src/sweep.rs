@@ -292,6 +292,7 @@ pub struct SweepBuilder {
     scenarios: Option<Vec<Scenario>>,
     globs: Vec<String>,
     force_slow: bool,
+    sim_threads: usize,
 }
 
 impl Default for SweepBuilder {
@@ -311,6 +312,7 @@ impl SweepBuilder {
             scenarios: None,
             globs: Vec::new(),
             force_slow: false,
+            sim_threads: 1,
         }
     }
 
@@ -363,6 +365,19 @@ impl SweepBuilder {
         self
     }
 
+    /// Sets the worker-thread count of the epoch-parallel multi-core
+    /// engine (the `--sim-threads` CLI knob; values ≥ 1, default 1 =
+    /// the serial reference loop). Orthogonal to
+    /// [`SweepBuilder::jobs`], which parallelizes *across*
+    /// experiments: `sim_threads` parallelizes the cores *within* one
+    /// multi-core simulation. The report is byte-identical at every
+    /// value — the epoch merge replays the canonical core order — so
+    /// this only changes wall time.
+    pub fn sim_threads(mut self, threads: usize) -> SweepBuilder {
+        self.sim_threads = threads.max(1);
+        self
+    }
+
     /// Whether the experiment id passes every configured filter.
     pub fn selects(&self, id: &str) -> bool {
         let (artifact, scenario) = id.split_once('/').unwrap_or((id, ""));
@@ -395,6 +410,10 @@ impl SweepBuilder {
         // default: experiments build their caches internally, so the
         // global is the only route the knob can take to reach them.
         let _slow_pin = self.force_slow.then(ForceSlowPin::engage);
+        // Same route for the sim-threads knob: experiments build their
+        // multi-core systems internally, so the process-global default
+        // is how the setting reaches them.
+        let _threads_pin = (self.sim_threads != 1).then(|| SimThreadsPin::engage(self.sim_threads));
         let sweep_start = Instant::now();
         let selected: Vec<(&dyn Experiment, u64)> = registry
             .iter()
@@ -452,6 +471,26 @@ impl ForceSlowPin {
 impl Drop for ForceSlowPin {
     fn drop(&mut self) {
         hyvec_cachesim::cache::set_global_force_slow_path(self.prior);
+    }
+}
+
+/// RAII engagement of the process-global sim-threads default, mirroring
+/// [`ForceSlowPin`]: set on construction, restored on drop.
+struct SimThreadsPin {
+    prior: usize,
+}
+
+impl SimThreadsPin {
+    fn engage(threads: usize) -> SimThreadsPin {
+        let prior = hyvec_cachesim::global_sim_threads();
+        hyvec_cachesim::set_global_sim_threads(threads);
+        SimThreadsPin { prior }
+    }
+}
+
+impl Drop for SimThreadsPin {
+    fn drop(&mut self) {
+        hyvec_cachesim::set_global_sim_threads(self.prior);
     }
 }
 

@@ -41,7 +41,7 @@ pub mod trace;
 
 pub use interleave::{
     interleave_benchmarks, interleave_replay_texts, multiprogram_sources, per_core_seed, rebased,
-    Interleave, InterleaveError, Rebased, CORE_ADDRESS_STRIDE,
+    EpochSource, Interleave, InterleaveError, Rebased, CORE_ADDRESS_STRIDE,
 };
 pub use replay::{Replay, ReplayError};
 pub use spec::{BenchClass, Pattern, Region, WorkloadSpec};

@@ -109,6 +109,37 @@ fn multi_core_interleaved_runs_are_jobs_invariant() {
 }
 
 #[test]
+fn sim_threads_are_invariant_across_all_render_formats() {
+    // The epoch-parallel engine must be invisible in the output: the
+    // ablation-cores sections (up to 64 cores, shared and private-L2
+    // MESI topologies) rendered in every format must come out
+    // byte-identical between the serial reference loop and the
+    // threaded epoch merge.
+    use hyvec_core::render::{render, Format};
+    use hyvec_core::sweep::SweepBuilder;
+    let sweep = |sim_threads: usize| {
+        SweepBuilder::new()
+            .params(quick())
+            .jobs(2)
+            .sim_threads(sim_threads)
+            .filter("ablation-cores/*")
+            .run()
+            .report
+    };
+    let serial = sweep(1);
+    for sim_threads in [2, 8] {
+        let threaded = sweep(sim_threads);
+        for format in [Format::Text, Format::Json, Format::Csv] {
+            assert_eq!(
+                render(&serial, format),
+                render(&threaded, format),
+                "--sim-threads {sim_threads} changed the {format} output"
+            );
+        }
+    }
+}
+
+#[test]
 fn multi_core_engine_is_bit_reproducible() {
     // Below the sweep layer: two identical 4-core interleaved runs
     // must produce identical per-core and chain statistics.
