@@ -1,0 +1,52 @@
+//! Trace-format throughput harness: measures binary vs text
+//! encode/decode/replay rates and the size ratio, and writes the
+//! `BENCH_trace.json` artifact.
+//!
+//! ```text
+//! cargo bench --bench traceformat                 # full measurement
+//! cargo bench --bench traceformat -- --smoke      # CI smoke mode
+//! cargo bench --bench traceformat -- --out P.json # artifact path
+//! ```
+//!
+//! `--test` (what `cargo test --benches` passes) behaves like
+//! `--smoke`, so the harness doubles as a binary/text replay
+//! equivalence smoke test: the measurement asserts both replay paths
+//! produce the identical report before trusting any timing. The
+//! measurement core lives in [`hyvec_bench::tracebench`], shared with
+//! `hyvec run-all`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut path = "BENCH_trace.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" | "--test" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // Ignore the harness flags cargo itself appends
+            // (`--bench`, `--nocapture`, ...).
+            _ => {}
+        }
+    }
+    let instructions = if smoke {
+        3_000
+    } else {
+        hyvec_bench::tracebench::RUN_ALL_INSTRUCTIONS
+    };
+    let report = hyvec_bench::tracebench::measure(instructions);
+    print!("{}", report.text());
+    if let Err(e) = std::fs::write(&path, report.json()) {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote trace-format throughput to {path}");
+    ExitCode::SUCCESS
+}

@@ -19,12 +19,15 @@
 //!   reliability   yields + fault injection
 //!   soft-errors   hard faults + soft errors (DECTED vs SECDED)
 //!   ablations     way split, memory latency, voltage, L2, cores,
-//!                 granularity
+//!                 workload zoo, granularity
 //!   all           alias of run-all
 //!   serve         long-running HTTP daemon serving any experiment on
 //!                 demand from a content-addressed result cache
 //!                 (own flags: --addr, --threads, --warm, --cache-mb;
 //!                 see the README "Serving" section)
+//!   trace         generate, transcode, inspect, and replay trace
+//!                 files (gen|encode|decode|info|replay; see the
+//!                 README "Traces & workloads" section)
 //! ```
 //!
 //! Every command is a filtered view of the same registry-driven sweep,
@@ -63,6 +66,7 @@ fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
             "ablation-voltage",
             "ablation-l2",
             "ablation-cores",
+            "ablation-workloads",
             "ablation-granularity",
         ],
         _ => return None,
@@ -71,10 +75,12 @@ fn command_artifacts(command: &str) -> Option<&'static [&'static str]> {
 
 fn usage() -> String {
     format!(
-        "usage: hyvec <run-all|list|serve|fig3|fig4|methodology|performance|area|reliability\
-         |soft-errors|ablations|all> {FLAGS_USAGE} [--bench-out PATH]\n\
-         \x20      hyvec serve {}",
-        hyvec_serve::SERVE_USAGE
+        "usage: hyvec <run-all|list|serve|trace|fig3|fig4|methodology|performance|area\
+         |reliability|soft-errors|ablations|all> {FLAGS_USAGE} [--bench-out PATH]\n\
+         \x20      hyvec serve {}\n\
+         \x20      hyvec {}",
+        hyvec_serve::SERVE_USAGE,
+        hyvec_bench::tracecmd::TRACE_USAGE
     )
 }
 
@@ -159,6 +165,15 @@ fn main() -> ExitCode {
     if command == "serve" {
         return serve(args);
     }
+    if command == "trace" {
+        return match hyvec_bench::tracecmd::run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_flags(args) {
         Ok(options) => options,
         Err(e) => {
@@ -229,6 +244,22 @@ fn main() -> ExitCode {
                     scaling.sim_threads
                 );
             }
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // And the trace-format throughput artifact: binary vs text
+        // encode/decode/replay rates and the size ratio (the
+        // measurement asserts the two replay paths' reports are
+        // identical before trusting any timing).
+        let trace = hyvec_bench::tracebench::measure(hyvec_bench::tracebench::RUN_ALL_INSTRUCTIONS);
+        let path = "BENCH_trace.json";
+        match std::fs::write(path, trace.json()) {
+            Ok(()) => eprintln!(
+                "wrote trace-format throughput to {path} (binary/text size ratio {:.3})",
+                trace.size_ratio()
+            ),
             Err(e) => {
                 eprintln!("could not write {path}: {e}");
                 return ExitCode::FAILURE;

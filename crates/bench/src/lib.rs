@@ -24,9 +24,12 @@
 //! directory holds Criterion micro-benchmarks of the substrates (EDC
 //! throughput, simulator speed, yield math, trace generation).
 //!
-//! The [`hotpath`] and [`multicore`] modules are in-process bench
-//! harnesses with JSON artifacts of their own (`BENCH_hotpath.json`,
-//! `BENCH_multicore.json`), both written by `hyvec run-all`.
+//! The [`hotpath`], [`multicore`], and [`tracebench`] modules are
+//! in-process bench harnesses with JSON artifacts of their own
+//! (`BENCH_hotpath.json`, `BENCH_multicore.json`, `BENCH_trace.json`),
+//! all written by `hyvec run-all`. The [`tracecmd`] module implements
+//! the `hyvec trace` subcommand (generate/encode/decode/info/replay
+//! over trace files).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -35,6 +38,8 @@
 pub mod cli;
 pub mod hotpath;
 pub mod multicore;
+pub mod tracebench;
+pub mod tracecmd;
 
 // The render helpers live next to the sweep engine; re-exported here
 // to keep the seed's public API.

@@ -1,0 +1,248 @@
+//! Trace-format throughput: binary encode/decode/replay vs the text
+//! path, plus the size ratio.
+//!
+//! The streaming trace layer's claim is that the binary format is
+//! strictly cheaper than text — smaller on the wire and faster on
+//! every leg (encode, decode, replay through the engine). This module
+//! measures all four figures on one fixed trace, after asserting that
+//! both replay paths produce the identical `RunReport` — the same
+//! equivalence-gate-before-timing discipline as the [`crate::hotpath`]
+//! and [`crate::multicore`] harnesses.
+//!
+//! The result serializes as the `BENCH_trace.json` artifact (schema
+//! `hyvec-bench-trace/v1`), written by `hyvec run-all` alongside
+//! `BENCH_hotpath.json` and `BENCH_multicore.json` and by the
+//! `benches/traceformat.rs` harness.
+
+use std::time::Instant;
+
+use hyvec_cachesim::config::{L2Config, MemoryConfig, Mode, SystemConfig};
+use hyvec_cachesim::engine::System;
+use hyvec_mediabench::binfmt::{encode_entries, BinaryReplay, DEFAULT_CHUNK_ENTRIES};
+use hyvec_mediabench::replay::{parse_trace, write_trace, Replay};
+use hyvec_mediabench::Benchmark;
+
+/// Trace length `hyvec run-all` uses for the artifact it writes
+/// (fixed so BENCH_trace.json trajectories are comparable across runs
+/// regardless of `--instructions`).
+pub const RUN_ALL_INSTRUCTIONS: u64 = 200_000;
+
+/// Trace seed of the measured runs (timing-only, but the equivalence
+/// gate wants identical inputs on both paths).
+const SEED: u64 = 0x7ACE;
+
+/// The measured program: the biggest working set in the suite, so
+/// the replay leg does real cache work.
+const PROGRAM: Benchmark = Benchmark::Mpeg2D;
+
+/// Throughput and size figures of one trace-format measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBenchReport {
+    /// Entries in the measured trace.
+    pub entries: u64,
+    /// Text encoding size, bytes.
+    pub text_bytes: u64,
+    /// Binary encoding size, bytes.
+    pub binary_bytes: u64,
+    /// Binary encode throughput, entries/second.
+    pub encode_eps: f64,
+    /// Binary decode throughput, entries/second.
+    pub decode_eps: f64,
+    /// Text parse throughput, entries/second.
+    pub text_parse_eps: f64,
+    /// `System::run` replay throughput from the binary stream,
+    /// entries/second.
+    pub replay_binary_eps: f64,
+    /// `System::run` replay throughput from eager text replay,
+    /// entries/second.
+    pub replay_text_eps: f64,
+}
+
+impl TraceBenchReport {
+    /// Binary-over-text size ratio (< 1 means the binary format is
+    /// smaller).
+    pub fn size_ratio(&self) -> f64 {
+        if self.text_bytes > 0 {
+            self.binary_bytes as f64 / self.text_bytes as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes as the `BENCH_trace.json` artifact (hand-rolled
+    /// JSON, like the other bench artifacts).
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"hyvec-bench-trace/v1\",\n");
+        out.push_str(&format!("  \"entries\": {},\n", self.entries));
+        out.push_str(&format!("  \"text_bytes\": {},\n", self.text_bytes));
+        out.push_str(&format!("  \"binary_bytes\": {},\n", self.binary_bytes));
+        out.push_str(&format!("  \"size_ratio\": {:.4},\n", self.size_ratio()));
+        out.push_str(&format!("  \"encode_eps\": {:.0},\n", self.encode_eps));
+        out.push_str(&format!("  \"decode_eps\": {:.0},\n", self.decode_eps));
+        out.push_str(&format!(
+            "  \"text_parse_eps\": {:.0},\n",
+            self.text_parse_eps
+        ));
+        out.push_str(&format!(
+            "  \"replay_binary_eps\": {:.0},\n",
+            self.replay_binary_eps
+        ));
+        out.push_str(&format!(
+            "  \"replay_text_eps\": {:.0}\n",
+            self.replay_text_eps
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// A human-readable table of the same figures.
+    pub fn text(&self) -> String {
+        format!(
+            "trace format throughput ({} entries)\n\
+             size: binary {} B vs text {} B (ratio {:.3})\n\
+             encode {:.1} M entries/s, decode {:.1} M entries/s, text parse {:.1} M entries/s\n\
+             replay: binary {:.1} M entries/s vs text {:.1} M entries/s\n",
+            self.entries,
+            self.binary_bytes,
+            self.text_bytes,
+            self.size_ratio(),
+            self.encode_eps / 1e6,
+            self.decode_eps / 1e6,
+            self.text_parse_eps / 1e6,
+            self.replay_binary_eps / 1e6,
+            self.replay_text_eps / 1e6,
+        )
+    }
+}
+
+fn build_system() -> System {
+    let l1s = SystemConfig::uniform_6t();
+    System::builder()
+        .il1(l1s.il1)
+        .dl1(l1s.dl1)
+        .l2(L2Config::unified(16))
+        .memory(MemoryConfig::with_latency(80))
+        .build()
+        // hyvec-lint: allow(no-panic, "the stock bench shape is a compile-time constant validated by every measurement run")
+        .expect("stock bench machine shape is valid")
+}
+
+/// Best-of-`samples` wall time of `f`, seconds.
+fn best_of<T>(samples: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    // hyvec-lint: allow(no-panic, "samples >= 1 always; the loop body ran at least once")
+    (best, last.expect("at least one sample"))
+}
+
+/// Measures encode/decode/parse/replay throughput on an
+/// `instructions`-entry trace, asserting text/binary replay report
+/// equivalence before trusting any timing.
+///
+/// # Panics
+///
+/// Panics if the binary and text replay paths disagree on a
+/// `RunReport` — the formats would not be equivalent, and no timing
+/// should be trusted.
+pub fn measure(instructions: u64) -> TraceBenchReport {
+    let samples = 2;
+    let entries: Vec<_> = PROGRAM.trace(instructions, SEED).collect();
+
+    let (encode_s, (bytes, _)) = best_of(samples, || {
+        encode_entries(entries.iter().copied(), DEFAULT_CHUNK_ENTRIES)
+    });
+    let text = write_trace(entries.iter().copied());
+
+    let (decode_s, decoded) = best_of(samples, || {
+        let mut reader = BinaryReplay::from_bytes(bytes.clone())
+            // hyvec-lint: allow(no-panic, "the header was just written by the encoder above")
+            .expect("freshly encoded trace has a valid header");
+        let out: Vec<_> = reader.by_ref().collect();
+        // hyvec-lint: allow(no-panic, "an in-memory trace just produced by the encoder cannot be truncated")
+        assert!(reader.error().is_none(), "freshly encoded trace corrupt");
+        out
+    });
+    // hyvec-lint: allow(no-panic, "the round-trip gate is the bench's whole point: a mismatch must abort, not be reported as a timing")
+    assert_eq!(decoded, entries, "binary round trip diverged");
+
+    let (parse_s, parsed) = best_of(samples, || {
+        // hyvec-lint: allow(no-panic, "the text was just written by write_trace above")
+        parse_trace(&text).expect("freshly written text parses")
+    });
+    // hyvec-lint: allow(no-panic, "the round-trip gate is the bench's whole point: a mismatch must abort, not be reported as a timing")
+    assert_eq!(parsed, entries, "text round trip diverged");
+
+    let (replay_text_s, text_report) = best_of(samples, || {
+        // hyvec-lint: allow(no-panic, "the text was just written by write_trace above")
+        build_system().run(Replay::from_text(&text).expect("valid text"), Mode::Hp)
+    });
+    let (replay_binary_s, binary_report) = best_of(samples, || {
+        let mut reader = BinaryReplay::from_bytes(bytes.clone())
+            // hyvec-lint: allow(no-panic, "the header was just written by the encoder above")
+            .expect("freshly encoded trace has a valid header");
+        let report = build_system().run(&mut reader, Mode::Hp);
+        // hyvec-lint: allow(no-panic, "an in-memory trace just produced by the encoder cannot be truncated")
+        assert!(reader.error().is_none(), "freshly encoded trace corrupt");
+        report
+    });
+    // hyvec-lint: allow(no-panic, "the equivalence gate is the bench's whole point: a divergence must abort, not be reported as a timing")
+    assert_eq!(
+        text_report, binary_report,
+        "binary replay report diverged from text replay"
+    );
+
+    let n = entries.len() as f64;
+    let eps = |s: f64| if s > 0.0 { n / s } else { 0.0 };
+    TraceBenchReport {
+        entries: entries.len() as u64,
+        text_bytes: text.len() as u64,
+        binary_bytes: bytes.len() as u64,
+        encode_eps: eps(encode_s),
+        decode_eps: eps(decode_s),
+        text_parse_eps: eps(parse_s),
+        replay_binary_eps: eps(replay_binary_s),
+        replay_text_eps: eps(replay_text_s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_smoke_produces_valid_figures_and_json() {
+        let report = measure(3_000);
+        assert_eq!(report.entries, 3_000);
+        assert!(report.binary_bytes > 0 && report.text_bytes > 0);
+        assert!(
+            report.size_ratio() < 1.0,
+            "binary ({} B) should be smaller than text ({} B)",
+            report.binary_bytes,
+            report.text_bytes
+        );
+        for (name, eps) in [
+            ("encode", report.encode_eps),
+            ("decode", report.decode_eps),
+            ("text_parse", report.text_parse_eps),
+            ("replay_binary", report.replay_binary_eps),
+            ("replay_text", report.replay_text_eps),
+        ] {
+            assert!(eps > 0.0, "{name} throughput missing");
+        }
+        let json = report.json();
+        assert!(json.contains("\"schema\": \"hyvec-bench-trace/v1\""));
+        assert!(json.contains("\"size_ratio\""));
+        assert!(json.contains("\"replay_binary_eps\""));
+        let text = report.text();
+        assert!(text.contains("ratio"));
+        assert!(text.contains("replay"));
+    }
+}

@@ -1482,6 +1482,112 @@ fn granularity_table(rows: &[GranularityRow]) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// A8: workload-zoo ablation (the streaming trace layer end to end)
+// ---------------------------------------------------------------------
+
+/// One workload of the zoo ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadZooRow {
+    /// Short workload name (`zipf`, `ptrchase`, ...).
+    pub workload: &'static str,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Energy per instruction, pJ.
+    pub epi_pj: f64,
+    /// DL1 hit ratio.
+    pub dl1_hit_ratio: f64,
+    /// L2 hit ratio.
+    pub l2_hit_ratio: f64,
+    /// Memory accesses per 1000 executed instructions.
+    pub memory_per_kilo: f64,
+}
+
+/// Runs every [`Workload`](hyvec_mediabench::zoo::Workload) of the zoo
+/// on the proposal machine (hybrid L1, 16KB L2, slow memory) at HP
+/// mode. Each trace is routed through the binary encoding — generator
+/// → [`hyvec_mediabench::TraceWriter`] →
+/// [`hyvec_mediabench::BinaryReplay`] → `System::run` — so every
+/// `run-all` exercises the streaming trace layer end to end, not just
+/// its unit tests.
+pub fn ablation_workloads(scenario: Scenario, params: ExperimentParams) -> Vec<WorkloadZooRow> {
+    use hyvec_cachesim::config::{L2Config, MemoryConfig};
+    use hyvec_mediabench::binfmt::{encode_entries, BinaryReplay, DEFAULT_CHUNK_ENTRIES};
+    use hyvec_mediabench::zoo::Workload;
+
+    let arch = Architecture::build_with(
+        scenario,
+        DesignPoint::Proposal,
+        &FailureModel::default(),
+        &MethodologyInputs::default(),
+        7,
+        1,
+        ABLATION_L2_MEMORY_LATENCY,
+    )
+    // hyvec-lint: allow(no-panic, "the pinned 7+1 proposal sizing converges with default models; exercised by every run-all")
+    .expect("proposal architecture");
+
+    Workload::ALL
+        .iter()
+        .map(|&w| {
+            let mut system = System::builder()
+                .config(arch.config.clone())
+                .memory(MemoryConfig::with_latency(ABLATION_L2_MEMORY_LATENCY))
+                .l2(L2Config::unified(16))
+                .build()
+                // hyvec-lint: allow(no-panic, "builder inputs are the validated paper geometry plus L2Config::unified presets; exercised by every run-all")
+                .expect("valid hierarchy");
+
+            let (bytes, _) = encode_entries(
+                w.trace(params.instructions, params.seed),
+                DEFAULT_CHUNK_ENTRIES,
+            );
+            let mut reader = BinaryReplay::from_bytes(bytes)
+                // hyvec-lint: allow(no-panic, "the header was just written by TraceWriter; exercised by every run-all")
+                .expect("freshly encoded trace has a valid header");
+            let r = system.run(&mut reader, Mode::Hp);
+            // hyvec-lint: allow(no-panic, "an in-memory trace just produced by the encoder cannot be truncated; exercised by every run-all")
+            assert!(reader.error().is_none(), "freshly encoded trace corrupt");
+
+            let l2 = r.stats.l2.unwrap_or_default();
+            WorkloadZooRow {
+                workload: w.name(),
+                cpi: r.stats.cycles as f64 / r.stats.instructions as f64,
+                epi_pj: r.epi_pj(),
+                dl1_hit_ratio: r.stats.dl1.hit_ratio(),
+                l2_hit_ratio: if l2.accesses > 0 {
+                    l2.hits as f64 / l2.accesses as f64
+                } else {
+                    0.0
+                },
+                memory_per_kilo: r.stats.memory_accesses as f64 * 1000.0
+                    / r.stats.instructions as f64,
+            }
+        })
+        .collect()
+}
+
+fn workloads_table(rows: &[WorkloadZooRow]) -> Table {
+    let mut t = Table::new("workloads")
+        .column(Column::new("workload").right(8))
+        .column(Column::new("cpi").prefix(": CPI "))
+        .column(Column::new("epi_pj").prefix(", EPI "))
+        .column(Column::new("dl1_hit").prefix(" pJ, DL1 "))
+        .column(Column::new("l2_hit").prefix(", L2 "))
+        .column(Column::new("mem_per_ki").prefix(", mem/ki "));
+    for r in rows {
+        t.push_row(vec![
+            Cell::str(r.workload),
+            Cell::float(r.cpi, 3),
+            Cell::float(r.epi_pj, 2),
+            Cell::percent(r.dl1_hit_ratio),
+            Cell::percent(r.l2_hit_ratio),
+            Cell::float(r.memory_per_kilo, 2),
+        ]);
+    }
+    t
+}
+
 /// Declares a scenario-parameterized experiment wrapper struct.
 macro_rules! scenario_experiment {
     ($(#[$meta:meta])* $name:ident, $artifact:literal, $desc:literal, |$self_:ident, $p:ident| $body:expr) => {
@@ -1628,6 +1734,16 @@ scenario_experiment!(
         tables.push(cores_mesi_table(&ablation_cores_mesi(e.scenario, p)));
         tables
     }
+);
+
+scenario_experiment!(
+    /// The workload-zoo ablation (zipfian lookups, pointer chasing,
+    /// stencil streaming, bursty web arrivals — every trace replayed
+    /// through the binary streaming encoder) as an [`Experiment`].
+    AblationWorkloadsExperiment,
+    "ablation-workloads",
+    "Ablation: workload zoo (zipf/ptrchase/stencil/webburst) replayed via the binary trace stream",
+    |e, p| vec![workloads_table(&ablation_workloads(e.scenario, p))]
 );
 
 /// Hard faults + soft errors (DECTED vs SECDED, scenario B) as an

@@ -9,14 +9,14 @@
 //!
 //! [`Registry::standard`] registers the paper's full evaluation
 //! matrix plus this reproduction's own ablations (every artifact ×
-//! scenario cell, 24 experiments).
+//! scenario cell, 26 experiments).
 
 use crate::architecture::Scenario;
 use crate::experiments::{
     AblationCoresExperiment, AblationGranularityExperiment, AblationL2Experiment,
     AblationMemoryLatencyExperiment, AblationVoltageExperiment, AblationWaysExperiment,
-    AreaExperiment, Experiment, Fig3Experiment, Fig4Experiment, MethodologyExperiment,
-    PerformanceExperiment, ReliabilityExperiment, SoftErrorExperiment,
+    AblationWorkloadsExperiment, AreaExperiment, Experiment, Fig3Experiment, Fig4Experiment,
+    MethodologyExperiment, PerformanceExperiment, ReliabilityExperiment, SoftErrorExperiment,
 };
 
 /// An ordered collection of registered experiments.
@@ -79,6 +79,9 @@ impl Registry {
         }
         for s in Scenario::ALL {
             r.register(Box::new(AblationCoresExperiment::new(s)));
+        }
+        for s in Scenario::ALL {
+            r.register(Box::new(AblationWorkloadsExperiment::new(s)));
         }
         r.register(Box::new(AblationGranularityExperiment));
         r
@@ -173,7 +176,7 @@ mod tests {
     #[test]
     fn standard_registry_covers_the_matrix() {
         let r = Registry::standard();
-        assert_eq!(r.len(), 24);
+        assert_eq!(r.len(), 26);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -187,6 +190,7 @@ mod tests {
                 "ablation-voltage",
                 "ablation-l2",
                 "ablation-cores",
+                "ablation-workloads",
             ] {
                 let id = format!("{prefix}/{s}");
                 assert!(r.get(&id).is_some(), "registry is missing {id}");
@@ -234,7 +238,7 @@ mod tests {
         let mut ids = registry.ids();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 24, "duplicate experiment ids");
+        assert_eq!(ids.len(), 26, "duplicate experiment ids");
     }
 
     #[test]

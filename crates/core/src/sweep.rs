@@ -501,7 +501,7 @@ mod tests {
     #[test]
     fn matrix_covers_every_artifact_for_every_scenario() {
         let jobs = full_matrix(ExperimentParams::default());
-        assert_eq!(jobs.len(), 24);
+        assert_eq!(jobs.len(), 26);
         for s in Scenario::ALL {
             for prefix in [
                 "methodology",
@@ -515,6 +515,7 @@ mod tests {
                 "ablation-voltage",
                 "ablation-l2",
                 "ablation-cores",
+                "ablation-workloads",
             ] {
                 let label = format!("{prefix}/{s}");
                 assert!(

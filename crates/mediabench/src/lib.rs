@@ -34,11 +34,14 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod interleave;
 pub mod replay;
 pub mod spec;
 pub mod trace;
+pub mod zoo;
 
+pub use binfmt::{BinaryReplay, BinfmtError, EncodeStats, TraceSummary, TraceWriter};
 pub use interleave::{
     interleave_benchmarks, interleave_replay_texts, multiprogram_sources, per_core_seed, rebased,
     EpochSource, Interleave, InterleaveError, Rebased, CORE_ADDRESS_STRIDE,
@@ -46,6 +49,7 @@ pub use interleave::{
 pub use replay::{Replay, ReplayError};
 pub use spec::{BenchClass, Pattern, Region, WorkloadSpec};
 pub use trace::{DataAccess, Trace, TraceEntry, TraceSource};
+pub use zoo::{Workload, ZooTrace};
 
 use std::fmt;
 

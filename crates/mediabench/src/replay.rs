@@ -49,6 +49,9 @@ pub enum ReplayError {
     Malformed {
         /// 1-based line number of the offending line.
         line: usize,
+        /// The offending token, verbatim (the whole trimmed line when
+        /// the field count itself is wrong).
+        token: String,
         /// What was wrong with it.
         reason: String,
     },
@@ -59,8 +62,12 @@ pub enum ReplayError {
 impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReplayError::Malformed { line, reason } => {
-                write!(f, "malformed trace line {line}: {reason}")
+            ReplayError::Malformed {
+                line,
+                token,
+                reason,
+            } => {
+                write!(f, "malformed trace line {line}: {reason} (at {token:?})")
             }
             ReplayError::Io(e) => write!(f, "could not read trace: {e}"),
         }
@@ -69,19 +76,26 @@ impl fmt::Display for ReplayError {
 
 impl Error for ReplayError {}
 
+/// Appends one entry to `out` in the replay line format (including
+/// the terminating newline) — the single formatter behind
+/// [`write_trace`] and the streaming `hyvec trace decode` path.
+pub fn write_entry_line(out: &mut String, e: TraceEntry) {
+    match e.access {
+        None => {
+            let _ = writeln!(out, "{:x}", e.pc);
+        }
+        Some(a) => {
+            let dir = if a.is_write { 'w' } else { 'r' };
+            let _ = writeln!(out, "{:x} {dir} {:x} {}", e.pc, a.addr, a.size);
+        }
+    }
+}
+
 /// Serializes `entries` in the replay line format.
 pub fn write_trace(entries: impl IntoIterator<Item = TraceEntry>) -> String {
     let mut out = String::new();
     for e in entries {
-        match e.access {
-            None => {
-                let _ = writeln!(out, "{:x}", e.pc);
-            }
-            Some(a) => {
-                let dir = if a.is_write { 'w' } else { 'r' };
-                let _ = writeln!(out, "{:x} {dir} {:x} {}", e.pc, a.addr, a.size);
-            }
-        }
+        write_entry_line(&mut out, e);
     }
     out
 }
@@ -89,68 +103,92 @@ pub fn write_trace(entries: impl IntoIterator<Item = TraceEntry>) -> String {
 fn parse_hex(token: &str, what: &str, line: usize) -> Result<u64, ReplayError> {
     u64::from_str_radix(token, 16).map_err(|e| ReplayError::Malformed {
         line,
+        token: token.to_string(),
         reason: format!("bad {what} {token:?}: {e}"),
     })
+}
+
+/// Parses one replay-format line. `line` is the 1-based line number
+/// (carried into any error); `Ok(None)` means the line is a comment
+/// or blank and encodes no entry.
+///
+/// This is the single line parser behind [`parse_trace`], the
+/// text-to-binary transcoder ([`crate::binfmt::text_to_binary`]), and
+/// the streaming `hyvec trace encode` path — they all report errors
+/// identically.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Malformed`] carrying the line number and
+/// the offending token if the line does not match the format.
+pub fn parse_trace_line(line: usize, raw: &str) -> Result<Option<TraceEntry>, ReplayError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    let entry = match tokens.as_slice() {
+        [pc] => TraceEntry {
+            pc: parse_hex(pc, "pc", line)?,
+            access: None,
+        },
+        [pc, dir, addr, size] => {
+            let is_write = match *dir {
+                "r" => false,
+                "w" => true,
+                other => {
+                    return Err(ReplayError::Malformed {
+                        line,
+                        token: other.to_string(),
+                        reason: format!("bad direction {other:?} (want r or w)"),
+                    })
+                }
+            };
+            let size: u8 = size.parse().map_err(|e| ReplayError::Malformed {
+                line,
+                token: size.to_string(),
+                reason: format!("bad size {size:?}: {e}"),
+            })?;
+            if !(1..=8).contains(&size) {
+                return Err(ReplayError::Malformed {
+                    line,
+                    token: size.to_string(),
+                    reason: format!("size {size} out of range 1-8"),
+                });
+            }
+            TraceEntry {
+                pc: parse_hex(pc, "pc", line)?,
+                access: Some(DataAccess {
+                    addr: parse_hex(addr, "address", line)?,
+                    size,
+                    is_write,
+                }),
+            }
+        }
+        _ => {
+            return Err(ReplayError::Malformed {
+                line,
+                token: trimmed.to_string(),
+                reason: format!("expected 1 or 4 fields, got {}", tokens.len()),
+            })
+        }
+    };
+    Ok(Some(entry))
 }
 
 /// Parses replay-format `text` into the entries it encodes.
 ///
 /// # Errors
 ///
-/// Returns [`ReplayError::Malformed`] (with a 1-based line number) on
-/// the first line that does not match the format.
+/// Returns [`ReplayError::Malformed`] (with a 1-based line number and
+/// the offending token) on the first line that does not match the
+/// format.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, ReplayError> {
     let mut entries = Vec::new();
     for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        if let Some(entry) = parse_trace_line(i + 1, raw)? {
+            entries.push(entry);
         }
-        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
-        let entry = match tokens.as_slice() {
-            [pc] => TraceEntry {
-                pc: parse_hex(pc, "pc", line)?,
-                access: None,
-            },
-            [pc, dir, addr, size] => {
-                let is_write = match *dir {
-                    "r" => false,
-                    "w" => true,
-                    other => {
-                        return Err(ReplayError::Malformed {
-                            line,
-                            reason: format!("bad direction {other:?} (want r or w)"),
-                        })
-                    }
-                };
-                let size: u8 = size.parse().map_err(|e| ReplayError::Malformed {
-                    line,
-                    reason: format!("bad size {size:?}: {e}"),
-                })?;
-                if !(1..=8).contains(&size) {
-                    return Err(ReplayError::Malformed {
-                        line,
-                        reason: format!("size {size} out of range 1-8"),
-                    });
-                }
-                TraceEntry {
-                    pc: parse_hex(pc, "pc", line)?,
-                    access: Some(DataAccess {
-                        addr: parse_hex(addr, "address", line)?,
-                        size,
-                        is_write,
-                    }),
-                }
-            }
-            _ => {
-                return Err(ReplayError::Malformed {
-                    line,
-                    reason: format!("expected 1 or 4 fields, got {}", tokens.len()),
-                })
-            }
-        };
-        entries.push(entry);
     }
     Ok(entries)
 }
@@ -254,25 +292,47 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_carry_their_line_number() {
+    fn malformed_lines_carry_their_line_number_and_token() {
+        // Regression pin: every malformed-line error names the 1-based
+        // line *and* the offending token, so a bad line buried in a
+        // multi-megabyte trace is locatable from the message alone.
         let cases = [
-            ("1000\nnot-hex\n", 2, "bad pc"),
-            ("1000 x 2000 4\n", 1, "bad direction"),
-            ("1000 r 2000\n", 1, "expected 1 or 4 fields"),
-            ("1000 r 2000 4 9\n", 1, "expected 1 or 4 fields"),
-            ("1000 r 2000 0\n", 1, "out of range"),
-            ("1000 r 2000 9\n", 1, "out of range"),
-            ("1000 r zz 4\n", 1, "bad address"),
+            ("1000\nnot-hex\n", 2, "bad pc", "not-hex"),
+            ("1000 x 2000 4\n", 1, "bad direction", "x"),
+            ("1000 r 2000\n", 1, "expected 1 or 4 fields", "1000 r 2000"),
+            (
+                "1000 r 2000 4 9\n",
+                1,
+                "expected 1 or 4 fields",
+                "1000 r 2000 4 9",
+            ),
+            ("1000 r 2000 0\n", 1, "out of range", "0"),
+            ("1000 r 2000 9\n", 1, "out of range", "9"),
+            ("1000 r zz 4\n", 1, "bad address", "zz"),
+            ("1000 r 2000 four\n", 1, "bad size", "four"),
         ];
-        for (text, line, needle) in cases {
+        for (text, line, needle, bad_token) in cases {
             match parse_trace(text) {
-                Err(ReplayError::Malformed { line: l, reason }) => {
+                Err(ReplayError::Malformed {
+                    line: l,
+                    token,
+                    reason,
+                }) => {
                     assert_eq!(l, line, "{text:?}");
                     assert!(reason.contains(needle), "{text:?}: {reason}");
+                    assert_eq!(token, bad_token, "{text:?} token");
                 }
                 other => panic!("{text:?}: expected Malformed, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn malformed_display_names_line_and_token() {
+        let err = parse_trace("1000\n1004 q 2000 4\n").unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("line 2"), "{message}");
+        assert!(message.contains("\"q\""), "{message}");
     }
 
     #[test]

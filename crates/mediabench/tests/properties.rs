@@ -73,6 +73,67 @@ proptest! {
         prop_assert_eq!(replayed, entries);
     }
 
+    /// The binary encoding round-trips any generated trace exactly,
+    /// at any chunk size: entries -> binary -> entries is identity,
+    /// and text -> binary -> text is byte-identical.
+    #[test]
+    fn binary_round_trips(b in arb_benchmark(), n in 1u64..3000, seed: u64, chunk in 1usize..600) {
+        use hyvec_mediabench::binfmt::{binary_to_text, encode_entries, text_to_binary, BinaryReplay};
+        use hyvec_mediabench::replay::write_trace;
+        let entries: Vec<_> = b.trace(n, seed).collect();
+        let (bytes, stats) = encode_entries(entries.iter().copied(), chunk);
+        prop_assert_eq!(stats.entries, n);
+        let mut reader = BinaryReplay::from_bytes(bytes).unwrap();
+        let decoded: Vec<_> = reader.by_ref().collect();
+        prop_assert!(reader.error().is_none(), "decode error: {:?}", reader.error());
+        prop_assert!(reader.peak_resident_entries() <= chunk.max(1));
+        prop_assert_eq!(&decoded, &entries);
+        let text = write_trace(entries.iter().copied());
+        let via_text = text_to_binary(&text, chunk).unwrap();
+        prop_assert_eq!(binary_to_text(&via_text).unwrap(), text);
+    }
+
+    /// Zoo workloads honor the same determinism contract as the
+    /// MediaBench generators and survive the binary round trip.
+    #[test]
+    fn zoo_traces_are_deterministic_and_encode(n in 1u64..3000, seed: u64) {
+        use hyvec_mediabench::binfmt::{encode_entries, BinaryReplay};
+        use hyvec_mediabench::zoo::Workload;
+        for w in Workload::ALL {
+            let t1: Vec<_> = w.trace(n, seed).collect();
+            let t2: Vec<_> = w.trace(n, seed).collect();
+            prop_assert_eq!(&t1, &t2, "{} not deterministic", w);
+            let (bytes, _) = encode_entries(t1.iter().copied(), 256);
+            let mut reader = BinaryReplay::from_bytes(bytes).unwrap();
+            let decoded: Vec<_> = reader.by_ref().collect();
+            prop_assert!(reader.error().is_none());
+            prop_assert_eq!(&decoded, &t1, "{} binary round trip", w);
+        }
+    }
+
+    /// Truncating a binary trace anywhere never yields garbage: the
+    /// reader returns a clean whole-chunk prefix of the original and
+    /// (unless the cut lands exactly on a chunk boundary) a typed
+    /// truncation error.
+    #[test]
+    fn truncation_is_detected(n in 10u64..500, seed: u64, frac in 0.0f64..1.0) {
+        use hyvec_mediabench::binfmt::{encode_entries, BinaryReplay, BinfmtError};
+        let entries: Vec<_> = Benchmark::GsmC.trace(n, seed).collect();
+        let (bytes, _) = encode_entries(entries.iter().copied(), 64);
+        let cut = 8 + ((bytes.len() - 8) as f64 * frac) as usize;
+        let mut reader = BinaryReplay::from_bytes(bytes[..cut].to_vec()).unwrap();
+        let decoded: Vec<_> = reader.by_ref().collect();
+        prop_assert!(decoded.len() <= entries.len());
+        prop_assert_eq!(&entries[..decoded.len()], &decoded[..]);
+        prop_assert_eq!(decoded.len() % 64 == 0 || decoded.len() == entries.len(), true);
+        if cut < bytes.len() {
+            match reader.error() {
+                Some(BinfmtError::TruncatedChunk { .. }) | None => {}
+                other => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+    }
+
     /// Sequential regions are walked with their declared stride
     /// (cursor arithmetic never skips or escapes).
     #[test]

@@ -422,16 +422,38 @@ impl SweepServer {
             );
         }
         let key = report_fingerprint(id, params);
+        // The ETag is the report fingerprint plus the render backend:
+        // same (id, params) in a different format is a different
+        // representation, so it must not validate against the other
+        // formats' cached copies.
+        let (content_type, format_tag) = match format {
+            Format::Text => ("text/plain; charset=utf-8", "text"),
+            Format::Json => ("application/json", "json"),
+            Format::Csv => ("text/csv; charset=utf-8", "csv"),
+        };
+        let etag = format!("\"{key:016x}-{format_tag}\"");
+        if let Some(condition) = request.header("if-none-match") {
+            let matches = condition
+                .split(',')
+                .any(|candidate| candidate.trim() == etag || candidate.trim() == "*");
+            if matches {
+                // Deterministic reports never change for a given
+                // fingerprint, so a matching validator short-circuits
+                // before touching the cache or the sweep engine.
+                return Response {
+                    status: 304,
+                    content_type,
+                    extra_headers: Vec::new(),
+                    body: Vec::new(),
+                }
+                .with_header("ETag", etag);
+            }
+        }
         let rendered = self
             .state
             .cache
             .get_or_compute(key, || compute_render_set(id, params));
-        let content_type = match format {
-            Format::Text => "text/plain; charset=utf-8",
-            Format::Json => "application/json",
-            Format::Csv => "text/csv; charset=utf-8",
-        };
-        Response::ok(content_type, rendered.body(format).to_vec())
+        Response::ok(content_type, rendered.body(format).to_vec()).with_header("ETag", etag)
     }
 }
 

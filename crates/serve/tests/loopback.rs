@@ -67,6 +67,42 @@ fn get(server: &SweepServer, target: &str) -> (u16, String, Vec<u8>) {
     request(server, "GET", target)
 }
 
+/// Like [`request`], but GET with extra request headers.
+fn get_with_headers(
+    server: &SweepServer,
+    target: &str,
+    extra: &[(&str, &str)],
+) -> (u16, String, Vec<u8>) {
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut wire = format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in extra {
+        wire.push_str(&format!("{name}: {value}\r\n"));
+    }
+    wire.push_str("\r\n");
+    conn.write_all(wire.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("recv");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8(raw[..header_end].to_vec()).expect("ascii head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head, raw[header_end + 4..].to_vec())
+}
+
+/// The value of the (case-sensitive, as-written) header in a head.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name}: ")))
+        .map(str::to_string)
+}
+
 /// Pulls one integer counter out of the `/stats` JSON by key.
 fn stat(stats_body: &[u8], key: &str) -> u64 {
     let text = String::from_utf8_lossy(stats_body);
@@ -242,6 +278,55 @@ fn errors_are_clean_http_responses() {
     assert_eq!(stat(&stats, "status_404"), 2);
     assert_eq!(stat(&stats, "status_400"), 4);
     assert_eq!(stat(&stats, "status_405"), 1);
+    server.stop();
+    handle.join().expect("runner joins");
+}
+
+#[test]
+fn conditional_requests_honor_the_report_etag() {
+    let (server, handle) = start(test_config());
+    let target = format!("/report/fig3/A?instructions={INSTRUCTIONS}&format=text");
+
+    // First GET: a 200 carrying a strong, quoted ETag.
+    let (status, head, body) = get(&server, &target);
+    assert_eq!(status, 200, "{head}");
+    let etag = header_value(&head, "ETag").expect("200 must carry an ETag");
+    assert!(
+        etag.starts_with('"') && etag.ends_with('"'),
+        "ETag must be quoted: {etag}"
+    );
+    assert!(!body.is_empty());
+
+    // Revalidation with the matching ETag: 304, no body, same ETag —
+    // and it short-circuits before the cache, so no hit is recorded.
+    let (status, head, body) = get_with_headers(&server, &target, &[("If-None-Match", &etag)]);
+    assert_eq!(status, 304, "{head}");
+    assert!(body.is_empty(), "a 304 must not carry a body");
+    assert_eq!(header_value(&head, "ETag").as_ref(), Some(&etag));
+    let (_, _, stats) = get(&server, "/stats");
+    assert_eq!(stat(&stats, "hits"), 0, "a 304 bypasses the cache");
+
+    // A stale validator gets the full 200 again.
+    let (status, _, body) =
+        get_with_headers(&server, &target, &[("If-None-Match", "\"0000-stale\"")]);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+
+    // `If-None-Match: *` matches any representation.
+    let (status, _, body) = get_with_headers(&server, &target, &[("If-None-Match", "*")]);
+    assert_eq!(status, 304);
+    assert!(body.is_empty());
+
+    // A different render format is a different representation: the
+    // text validator must not suppress the JSON body, and the JSON
+    // response advertises its own distinct ETag.
+    let json_target = format!("/report/fig3/A?instructions={INSTRUCTIONS}&format=json");
+    let (status, head, body) = get_with_headers(&server, &json_target, &[("If-None-Match", &etag)]);
+    assert_eq!(status, 200, "{head}");
+    assert!(!body.is_empty());
+    let json_etag = header_value(&head, "ETag").expect("json 200 must carry an ETag");
+    assert_ne!(json_etag, etag);
+
     server.stop();
     handle.join().expect("runner joins");
 }
